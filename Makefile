@@ -1,0 +1,35 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench experiments examples verify clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate EXPERIMENTS.md's source rows (benchmarks/results.log).
+experiments:
+	rm -f benchmarks/results.log
+	pytest benchmarks/ --benchmark-only -q
+	@echo "--- regenerated rows ---"
+	@cat benchmarks/results.log
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo OK; done
+
+# The reproduction smoke-check: every CLI command must exit 0.
+verify:
+	python -m repro demo
+	python -m repro check-algorithm2 --n 3
+	python -m repro refute
+	python -m repro separation --n 2
+	python -m repro ledger --n 2
+	python -m repro power
+
+clean:
+	rm -rf build src/repro.egg-info .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} \;

@@ -1,0 +1,35 @@
+"""Shared reporting helper for the experiment benchmarks.
+
+Every experiment bench regenerates its result rows with
+:func:`emit_rows` — printed to stdout (run pytest with ``-s`` to see
+them live) and appended to ``benchmarks/results.log`` so that a full
+``pytest benchmarks/ --benchmark-only`` run leaves a machine-readable
+record behind. EXPERIMENTS.md is the curated copy of these rows.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+_LOG_PATH = os.path.join(os.path.dirname(__file__), "results.log")
+
+
+def emit_rows(
+    experiment: str,
+    claim: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    """Print (and log) one experiment's regenerated result rows."""
+    lines = []
+    lines.append("")
+    lines.append(f"[{experiment}] {claim}")
+    lines.append("  " + " | ".join(str(h) for h in headers))
+    lines.append("  " + "-" * (3 * len(headers) + sum(len(str(h)) for h in headers)))
+    for row in rows:
+        lines.append("  " + " | ".join(str(cell) for cell in row))
+    text = "\n".join(lines)
+    print(text)
+    with open(_LOG_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,60 @@
+"""E2 — Lemma 3.2: the n-PAC is upset iff its history is not legal.
+
+Paper claim: Algorithm 1's upset flag equals the independent legality
+predicate on every operation-sequence prefix. Regenerated rows: per
+history class, prefixes compared and mismatches (always 0).
+"""
+
+import pytest
+
+from repro.core.pac import is_legal_history, upset_after
+from repro.workloads.histories import all_pac_histories, random_pac_history
+
+from _report import emit_rows
+
+
+def compare_prefixes(n, history):
+    mismatches = 0
+    for cut in range(len(history) + 1):
+        prefix = list(history[:cut])
+        if upset_after(prefix, n) != (not is_legal_history(prefix, n)):
+            mismatches += 1
+    return len(history) + 1, mismatches
+
+
+def test_e02_report(benchmark):
+    benchmark.pedantic(_e02_report, rounds=1, iterations=1)
+
+
+def _e02_report():
+    rows = []
+    total = mismatches = 0
+    for history in all_pac_histories(2, 5):
+        checked, bad = compare_prefixes(2, history)
+        total += checked
+        mismatches += bad
+    rows.append(("n=2 exhaustive (len<=5)", total, mismatches, "0 (Lemma 3.2)"))
+
+    for n in (3, 4):
+        total = mismatches = 0
+        for seed in range(150):
+            history = random_pac_history(n, 30, seed=seed, legal_bias=0.3)
+            checked, bad = compare_prefixes(n, history)
+            total += checked
+            mismatches += bad
+        rows.append(
+            (f"n={n} random (150x30 ops)", total, mismatches, "0 (Lemma 3.2)")
+        )
+    emit_rows(
+        "E2",
+        "Lemma 3.2: upset flag ⟺ history not legal, on every prefix",
+        ["history class", "prefixes compared", "mismatches", "paper"],
+        rows,
+    )
+    assert all(row[2] == 0 for row in rows)
+
+
+def test_e02_bench_legality_check(benchmark):
+    history = random_pac_history(4, 200, seed=3, legal_bias=0.2)
+    result = benchmark(lambda: is_legal_history(history, 4))
+    assert result in (True, False)

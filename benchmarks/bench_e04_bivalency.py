@@ -1,0 +1,127 @@
+"""E4 — Claims 4.2.4/4.2.5/5.2.3: bivalency machinery on concrete systems.
+
+Paper claims: the paper's initial configuration I is bivalent; a
+critical configuration exists when bivalence cannot persist forever;
+at a critical configuration every process is poised at one object,
+and that object is never a register. Regenerated rows: per system, the
+computed initial valency, critical-configuration descent length, and
+the contended object's kind.
+"""
+
+import pytest
+
+from repro.analysis.explorer import Explorer
+from repro.analysis.valency import (
+    BIVALENT,
+    classify,
+    contended_object,
+    find_critical_configuration,
+)
+from repro.core.pac import NPacSpec
+from repro.objects.classic import TestAndSetSpec
+from repro.objects.consensus import MConsensusSpec
+from repro.objects.register import RegisterSpec
+from repro.protocols.consensus import (
+    TestAndSetConsensusProcess,
+    one_shot_consensus_processes,
+)
+from repro.protocols.dac_from_pac import algorithm2_processes
+
+from _report import emit_rows
+
+
+def systems():
+    yield (
+        "Algorithm 2, inputs I=(1,0,0)",
+        Explorer({"PAC": NPacSpec(3)}, algorithm2_processes((1, 0, 0))),
+        "PAC",
+    )
+    yield (
+        "one-shot 2-consensus, inputs (0,1)",
+        Explorer(
+            {"CONS": MConsensusSpec(2)}, one_shot_consensus_processes([0, 1])
+        ),
+        "CONS",
+    )
+    yield (
+        "TAS consensus + registers, inputs (0,1)",
+        Explorer(
+            {
+                "TAS": TestAndSetSpec(),
+                "R0": RegisterSpec(),
+                "R1": RegisterSpec(),
+            },
+            [
+                TestAndSetConsensusProcess(0, 0),
+                TestAndSetConsensusProcess(1, 1),
+            ],
+        ),
+        "TAS",
+    )
+
+
+def test_e04_report(benchmark):
+    benchmark.pedantic(_e04_report, rounds=1, iterations=1)
+
+
+def _e04_report():
+    rows = []
+    for name, explorer, expected_object in systems():
+        valency = classify(explorer, explorer.initial_configuration())
+        critical = find_critical_configuration(explorer)
+        if critical is None:
+            rows.append((name, valency.label, "bivalent cycle", "-", "-"))
+            continue
+        contended = contended_object(critical)
+        rows.append(
+            (
+                name,
+                valency.label,
+                f"depth {len(critical.schedule)}",
+                contended,
+                "non-register (Claims 4.2.8/5.2.4)",
+            )
+        )
+        assert valency.label == BIVALENT
+        if contended is not None:
+            assert not contended.startswith("R")
+            assert contended == expected_object
+    emit_rows(
+        "E4",
+        "Bivalent initial configs + critical configurations land on the "
+        "consensus-power object, never a register",
+        ["system", "initial valency", "critical descent", "contended object",
+         "paper"],
+        rows,
+    )
+
+
+def test_e04_bench_initial_valency(benchmark):
+    explorer = Explorer(
+        {"PAC": NPacSpec(3)}, algorithm2_processes((1, 0, 0))
+    )
+
+    def run():
+        return classify(explorer, explorer.initial_configuration())
+
+    valency = benchmark(run)
+    assert valency.label == BIVALENT
+
+
+def test_e04_bench_critical_descent(benchmark):
+    def run():
+        explorer = Explorer(
+            {
+                "TAS": TestAndSetSpec(),
+                "R0": RegisterSpec(),
+                "R1": RegisterSpec(),
+            },
+            [
+                TestAndSetConsensusProcess(0, 0),
+                TestAndSetConsensusProcess(1, 1),
+            ],
+        )
+        return find_critical_configuration(explorer)
+
+    critical = benchmark(run)
+    assert critical is not None

@@ -1,0 +1,87 @@
+"""E11 — Theorem 7.1 (Qadri's question): level m holds objects that
+(m+1)-consensus cannot implement.
+
+Paper claim: for m >= 2, n >= m+1, the (n+1, m)-PAC is at level m but
+not implementable from n-consensus + registers. Regenerated rows:
+
+* level membership — the (n+1, m)-PAC solves m-consensus (exhaustive);
+* (n+1)-DAC reachability — via Obs 5.1(b), its PAC face runs
+  Algorithm 2 for n+1 processes (exhaustive for small n);
+* the non-implementability evidence — candidate (n+1)-DAC algorithms
+  over n-consensus + registers are refuted (Thm 4.2 machinery).
+"""
+
+import pytest
+
+from repro.analysis.explorer import Explorer
+from repro.core.combined import CombinedPacSpec
+from repro.core.pac import NPacSpec
+from repro.protocols.candidates import dac_via_consensus
+from repro.protocols.consensus import CombinedPacConsensusProcess
+from repro.protocols.dac_from_pac import algorithm2_processes
+from repro.protocols.tasks import ConsensusTask, DacDecisionTask
+
+from _report import emit_rows
+
+
+def level_membership(n, m):
+    task = ConsensusTask(m)
+    for inputs in task.input_assignments():
+        processes = [
+            CombinedPacConsensusProcess(pid, value)
+            for pid, value in enumerate(inputs)
+        ]
+        explorer = Explorer({"NMPAC": CombinedPacSpec(n + 1, m)}, processes)
+        if explorer.check_safety(task, inputs) is not None:
+            return False
+    return True
+
+
+def dac_reachability(n):
+    inputs = DacDecisionTask.paper_initial_inputs(n + 1)
+    task = DacDecisionTask(n + 1)
+    explorer = Explorer(
+        {"PAC": NPacSpec(n + 1)}, algorithm2_processes(inputs)
+    )
+    return explorer.check_safety(task, inputs) is None
+
+
+def candidate_refuted(n):
+    candidate = dac_via_consensus(n, fallback="own")
+    explorer = Explorer(candidate.objects, candidate.processes)
+    return explorer.check_safety(candidate.task, candidate.inputs) is not None
+
+
+def test_e11_report(benchmark):
+    benchmark.pedantic(_e11_report, rounds=1, iterations=1)
+
+
+def _e11_report():
+    rows = []
+    for m, n in [(2, 3), (2, 4), (3, 4)]:
+        member = level_membership(n, m)
+        reach = dac_reachability(n)
+        refuted = candidate_refuted(n)
+        rows.append(
+            (
+                f"({n + 1},{m})-PAC",
+                "✓" if member else "✗",
+                "✓" if reach else "✗",
+                "refuted ✓" if refuted else "NOT refuted",
+                f"level {m}, not from {n}-consensus (Thm 7.1)",
+            )
+        )
+        assert member and reach and refuted
+    emit_rows(
+        "E11",
+        "Theorem 7.1: (n+1, m)-PAC sits at level m yet n-consensus + "
+        "registers cannot implement it",
+        ["object", f"solves m-consensus", "solves (n+1)-DAC",
+         "n-consensus candidate", "paper"],
+        rows,
+    )
+
+
+def test_e11_bench_membership(benchmark):
+    result = benchmark(lambda: level_membership(3, 2))
+    assert result

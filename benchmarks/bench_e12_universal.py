@@ -1,0 +1,115 @@
+"""E12 — Herlihy's universal construction (the intro's background).
+
+Paper background claim: consensus number n + registers implement any
+object for n processes. Regenerated rows: per target spec, the
+linearizability verdicts of the construction across adversarial
+schedules, plus the base-step cost.
+"""
+
+import pytest
+
+from repro.core.pac import NPacSpec
+from repro.objects.classic import FetchAndAddSpec, QueueSpec
+from repro.objects.register import RegisterSpec
+from repro.protocols.implementation import check_implementation
+from repro.protocols.universal import UniversalConstruction
+from repro.runtime.scheduler import SeededScheduler
+from repro.types import op
+
+from _report import emit_rows
+
+SEEDS = 8
+
+
+def cases():
+    yield (
+        "queue @ 3 procs",
+        lambda: UniversalConstruction(QueueSpec(), n=3, max_operations=12),
+        {
+            0: [op("enqueue", "a"), op("dequeue")],
+            1: [op("enqueue", "b"), op("dequeue")],
+            2: [op("enqueue", "c"), op("dequeue")],
+        },
+    )
+    yield (
+        "register @ 2 procs",
+        lambda: UniversalConstruction(RegisterSpec(0), n=2, max_operations=8),
+        {
+            0: [op("write", 1), op("read")],
+            1: [op("write", 2), op("read")],
+        },
+    )
+    yield (
+        "fetch-and-add @ 3 procs",
+        lambda: UniversalConstruction(FetchAndAddSpec(), n=3, max_operations=12),
+        {
+            0: [op("fetch_and_add", 1)],
+            1: [op("fetch_and_add", 10)],
+            2: [op("fetch_and_add", 100), op("read")],
+        },
+    )
+    yield (
+        "2-PAC @ 2 procs",
+        lambda: UniversalConstruction(NPacSpec(2), n=2, max_operations=10),
+        {
+            0: [op("propose", "a", 1), op("decide", 1)],
+            1: [op("propose", "b", 2), op("decide", 2)],
+        },
+    )
+
+
+def run_case(make_impl, workloads):
+    ok = 0
+    steps = 0
+    for seed in range(SEEDS):
+        verdict, result = check_implementation(
+            make_impl(), workloads, scheduler=SeededScheduler(seed)
+        )
+        if verdict.ok:
+            ok += 1
+        steps += len(result.run.steps)
+    return ok, steps // SEEDS
+
+
+def test_e12_report(benchmark):
+    benchmark.pedantic(_e12_report, rounds=1, iterations=1)
+
+
+def _e12_report():
+    rows = []
+    for name, make_impl, workloads in cases():
+        ok, mean_steps = run_case(make_impl, workloads)
+        rows.append(
+            (
+                name,
+                f"{ok}/{SEEDS} linearizable",
+                f"~{mean_steps} base steps/run",
+                "implementable (Herlihy [10])",
+            )
+        )
+        assert ok == SEEDS
+    emit_rows(
+        "E12",
+        "Universal construction: arbitrary objects from n-consensus + "
+        "registers, for n processes",
+        ["target", "measured", "cost", "paper"],
+        rows,
+    )
+
+
+def test_e12_bench_queue_run(benchmark):
+    workloads = {
+        0: [op("enqueue", "a"), op("dequeue")],
+        1: [op("enqueue", "b"), op("dequeue")],
+        2: [op("enqueue", "c"), op("dequeue")],
+    }
+
+    def run():
+        impl = UniversalConstruction(QueueSpec(), n=3, max_operations=12)
+        verdict, _result = check_implementation(
+            impl, workloads, scheduler=SeededScheduler(3)
+        )
+        return verdict
+
+    verdict = benchmark(run)
+    assert verdict.ok

@@ -1,0 +1,87 @@
+"""E18 — state-space scaling of the model checker (capacity table).
+
+Not a paper claim — a capacity card for the reproduction itself: how
+big the exhaustive verdicts' state spaces are and how they grow, so a
+reader knows exactly what "model-checked over all schedules" bought at
+each n and where exhaustiveness stops being the right tool (the
+randomized adversaries take over — experiment E3's split).
+"""
+
+import pytest
+
+from repro.analysis.explorer import Explorer
+from repro.core.pac import NPacSpec
+from repro.objects.consensus import MConsensusSpec
+from repro.protocols.consensus import one_shot_consensus_processes
+from repro.protocols.dac_from_pac import algorithm2_processes
+from repro.protocols.obstruction_free import (
+    adopt_commit_round_objects,
+    obstruction_free_processes,
+)
+from repro.protocols.tasks import DacDecisionTask
+
+from _report import emit_rows
+
+
+def algorithm2_space(n):
+    inputs = DacDecisionTask.paper_initial_inputs(n)
+    explorer = Explorer({"PAC": NPacSpec(n)}, algorithm2_processes(inputs))
+    graph = explorer.explore(max_configurations=3_000_000)
+    assert graph.complete
+    return len(graph)
+
+
+def consensus_space(n):
+    inputs = tuple(pid % 2 for pid in range(n))
+    explorer = Explorer(
+        {"CONS": MConsensusSpec(n)},
+        one_shot_consensus_processes(list(inputs)),
+    )
+    graph = explorer.explore(max_configurations=3_000_000)
+    assert graph.complete
+    return len(graph)
+
+
+def obstruction_free_space(n, rounds):
+    inputs = tuple(pid % 2 for pid in range(n))
+    explorer = Explorer(
+        adopt_commit_round_objects(n, rounds),
+        obstruction_free_processes(inputs, max_rounds=rounds),
+    )
+    graph = explorer.explore(max_configurations=3_000_000)
+    assert graph.complete
+    return len(graph)
+
+
+def test_e18_report(benchmark):
+    benchmark.pedantic(_e18_report, rounds=1, iterations=1)
+
+
+def _e18_report():
+    rows = []
+    previous = None
+    for n in (2, 3, 4):
+        size = algorithm2_space(n)
+        growth = f"×{size / previous:.1f}" if previous else "-"
+        rows.append((f"Algorithm 2, n={n} (paper inputs I)", size, growth))
+        previous = size
+    for n in (2, 4, 8):
+        rows.append((f"one-shot n-consensus, n={n}", consensus_space(n), "-"))
+    rows.append(
+        ("obstruction-free, n=2, 3 rounds", obstruction_free_space(2, 3), "-")
+    )
+    emit_rows(
+        "E18",
+        "State-space sizes behind the exhaustive verdicts (complete "
+        "reachable graphs; growth is why larger n uses randomized "
+        "adversaries instead)",
+        ["system", "reachable configurations", "growth"],
+        rows,
+    )
+    # Sanity: growth is super-linear for Algorithm 2.
+    assert algorithm2_space(3) > 4 * algorithm2_space(2)
+
+
+def test_e18_bench_algorithm2_n4(benchmark):
+    size = benchmark(lambda: algorithm2_space(4))
+    assert size > 0

@@ -1,0 +1,97 @@
+"""Performance benchmarks for the core machinery.
+
+Not paper experiments — these track the cost of the substrate itself:
+PAC operation throughput, simulator step rate, explorer state rate,
+and linearizability-checker scaling, so regressions in the engines are
+visible.
+"""
+
+import pytest
+
+from repro.analysis.explorer import Explorer
+from repro.analysis.linearizability import check_linearizable
+from repro.core.pac import NPacSpec
+from repro.objects.classic import QueueSpec
+from repro.objects.consensus import MConsensusSpec
+from repro.protocols.consensus import one_shot_consensus_processes
+from repro.protocols.dac_from_pac import algorithm2_processes
+from repro.runtime.history import ConcurrentHistory
+from repro.runtime.scheduler import SeededScheduler
+from repro.runtime.system import System
+from repro.types import DONE, op
+from repro.workloads.histories import random_pac_history
+
+
+class TestPacThroughput:
+    def test_bench_pac_operation_stream(self, benchmark):
+        spec = NPacSpec(8)
+        history = random_pac_history(8, 500, seed=1, legal_bias=0.7)
+
+        def run():
+            return spec.run(history)
+
+        state, responses = benchmark(run)
+        assert len(responses) == 500
+
+
+class TestSimulatorStepRate:
+    def test_bench_algorithm2_run(self, benchmark):
+        inputs = tuple(pid % 2 for pid in range(8))
+
+        def run():
+            system = System(
+                {"PAC": NPacSpec(8)}, algorithm2_processes(inputs)
+            )
+            return system.run(SeededScheduler(7), max_steps=2000)
+
+        history = benchmark(run)
+        assert len(history.steps) > 0
+
+    def test_bench_consensus_swarm(self, benchmark):
+        inputs = list(range(16))
+
+        def run():
+            system = System(
+                {"CONS": MConsensusSpec(16)},
+                one_shot_consensus_processes(inputs),
+            )
+            return system.run(SeededScheduler(3))
+
+        history = benchmark(run)
+        assert len(history.decisions) == 16
+
+
+class TestExplorerStateRate:
+    def test_bench_full_exploration(self, benchmark):
+        inputs = (1, 0, 0)
+
+        def run():
+            explorer = Explorer(
+                {"PAC": NPacSpec(3)}, algorithm2_processes(inputs)
+            )
+            return explorer.explore()
+
+        result = benchmark(run)
+        assert result.complete
+
+
+class TestLinearizabilityScaling:
+    def make_history(self, ops_per_proc):
+        spec = QueueSpec()
+        history = ConcurrentHistory()
+        state = spec.initial_state()
+        # Two processes, interleaved enqueue/dequeue, executed soundly.
+        sequence = []
+        for index in range(ops_per_proc):
+            sequence.append((0, op("enqueue", index)))
+            sequence.append((1, op("dequeue")))
+        for pid, operation in sequence:
+            op_id = history.invoke(pid, operation)
+            state, response = spec.apply(state, operation)
+            history.respond(op_id, response)
+        return history
+
+    def test_bench_checker_on_queue_history(self, benchmark):
+        history = self.make_history(10)
+        verdict = benchmark(lambda: check_linearizable(history, QueueSpec()))
+        assert verdict.ok

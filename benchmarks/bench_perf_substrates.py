@@ -1,0 +1,69 @@
+"""Performance benches for the heavier substrates.
+
+Complements ``bench_perf_core.py``: the Afek snapshot implementation,
+obstruction-free consensus exploration, the valency analyzer's fixpoint,
+and the paper-ledger assembly.
+"""
+
+import pytest
+
+from repro.analysis.explorer import Explorer
+from repro.analysis.valency_analyzer import ValencyAnalyzer
+from repro.core.pac import NPacSpec
+from repro.core.relations import paper_ledger
+from repro.protocols.dac_from_pac import algorithm2_processes
+from repro.protocols.implementation import check_implementation
+from repro.protocols.obstruction_free import (
+    adopt_commit_round_objects,
+    obstruction_free_processes,
+)
+from repro.protocols.snapshot import AfekSnapshotImplementation
+from repro.runtime.scheduler import SeededScheduler
+from repro.workloads.generators import snapshot_workloads
+
+
+class TestSnapshotPerf:
+    def test_bench_snapshot_check(self, benchmark):
+        workloads = snapshot_workloads(3, 3, seed=1)
+
+        def run():
+            impl = AfekSnapshotImplementation(3)
+            verdict, _result = check_implementation(
+                impl, workloads, scheduler=SeededScheduler(2)
+            )
+            return verdict
+
+        verdict = benchmark(run)
+        assert verdict.ok
+
+
+class TestObstructionFreePerf:
+    def test_bench_of_exploration(self, benchmark):
+        def run():
+            explorer = Explorer(
+                adopt_commit_round_objects(2, 2),
+                obstruction_free_processes((0, 1), max_rounds=2),
+            )
+            return explorer.explore(max_configurations=400_000)
+
+        graph = benchmark(run)
+        assert graph.complete
+
+
+class TestValencyAnalyzerPerf:
+    def test_bench_fixpoint(self, benchmark):
+        explorer = Explorer(
+            {"PAC": NPacSpec(3)}, algorithm2_processes((1, 0, 0))
+        )
+
+        def run():
+            return ValencyAnalyzer(explorer)
+
+        analyzer = benchmark(run)
+        assert analyzer.summary()
+
+
+class TestLedgerPerf:
+    def test_bench_paper_ledger(self, benchmark):
+        ledger = benchmark(lambda: paper_ledger(2, seeds=1))
+        assert ledger.check_consistency() == []

@@ -1,0 +1,164 @@
+"""repro — executable reproduction of "Life Beyond Set Agreement".
+
+Chan, Hadzilacos & Toueg (PODC 2017) prove that the *set agreement
+power* of a shared object does not determine which objects it can
+implement: every level ``n >= 2`` of the consensus hierarchy contains a
+pair ``O_n`` / ``O'_n`` with identical set agreement power that are not
+equivalent. This package makes the paper's whole world executable:
+
+* the objects — ``n``-PAC (Algorithm 1), ``n``-DAC, strong 2-SA,
+  ``(n, k)``-SA, ``(n, m)``-PAC, ``O_n`` and ``O'_n``
+  (:mod:`repro.core`), plus the classical catalog
+  (:mod:`repro.objects`);
+* the model — asynchronous processes over atomic objects with an
+  adversarial scheduler (:mod:`repro.runtime`);
+* the algorithms — Algorithm 2, the consensus/set-agreement protocol
+  library, the Lemma 6.4 and Observation 5.1 implementations, the
+  universal construction, and the doomed lower-bound candidates
+  (:mod:`repro.protocols`);
+* the proof machinery — bounded model checking, valency/bivalency
+  analysis, and linearizability checking (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import NPacSpec, op
+    spec = NPacSpec(2)
+    _state, (done, decided) = spec.run(
+        [op("propose", "hello", 1), op("decide", 1)])
+    assert decided == "hello"
+
+See ``examples/`` for full scenarios and ``EXPERIMENTS.md`` for the
+paper-versus-measured record.
+"""
+
+from .errors import (
+    AnalysisError,
+    ExplorationBudgetExceeded,
+    InvalidOperationError,
+    NotLinearizableError,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    SpecificationError,
+)
+from .types import ABORT, BOTTOM, DONE, NIL, Operation, op
+from .objects import (
+    CompareAndSwapSpec,
+    FetchAndAddSpec,
+    MConsensusSpec,
+    QueueSpec,
+    RegisterSpec,
+    SequentialSpec,
+    SharedObject,
+    StickyBitSpec,
+    SwapSpec,
+    TestAndSetSpec,
+    register_array,
+)
+from .core import (
+    AbortableDacSpec,
+    CombinedPacSpec,
+    DacTask,
+    NKSetAgreementSpec,
+    NPacSpec,
+    SetAgreementBundleSpec,
+    SetAgreementPower,
+    StrongSetAgreementSpec,
+    UNBOUNDED,
+    check_theorem_3_5,
+    is_legal_history,
+    make_on,
+    make_on_prime,
+    on_power,
+    on_prime_power,
+    separation_pair,
+)
+from .runtime import (
+    GeneratorProcess,
+    ProcessAutomaton,
+    RoundRobinScheduler,
+    SeededScheduler,
+    SoloScheduler,
+    System,
+)
+from .analysis import (
+    Explorer,
+    LinearizabilityChecker,
+    check_linearizable,
+    classify,
+    find_critical_configuration,
+)
+from .protocols import (
+    ConsensusTask,
+    DacDecisionTask,
+    KSetAgreementTask,
+    UniversalConstruction,
+    algorithm2_processes,
+    all_candidates,
+    check_implementation,
+    on_prime_from_consensus_and_sa,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABORT",
+    "AbortableDacSpec",
+    "AnalysisError",
+    "BOTTOM",
+    "CombinedPacSpec",
+    "CompareAndSwapSpec",
+    "ConsensusTask",
+    "DONE",
+    "DacDecisionTask",
+    "DacTask",
+    "ExplorationBudgetExceeded",
+    "Explorer",
+    "FetchAndAddSpec",
+    "GeneratorProcess",
+    "InvalidOperationError",
+    "KSetAgreementTask",
+    "LinearizabilityChecker",
+    "MConsensusSpec",
+    "NIL",
+    "NKSetAgreementSpec",
+    "NPacSpec",
+    "NotLinearizableError",
+    "Operation",
+    "ProcessAutomaton",
+    "ProtocolError",
+    "QueueSpec",
+    "RegisterSpec",
+    "ReproError",
+    "RoundRobinScheduler",
+    "SchedulingError",
+    "SeededScheduler",
+    "SequentialSpec",
+    "SetAgreementBundleSpec",
+    "SetAgreementPower",
+    "SharedObject",
+    "SoloScheduler",
+    "SpecificationError",
+    "StickyBitSpec",
+    "StrongSetAgreementSpec",
+    "SwapSpec",
+    "System",
+    "TestAndSetSpec",
+    "UNBOUNDED",
+    "UniversalConstruction",
+    "algorithm2_processes",
+    "all_candidates",
+    "check_implementation",
+    "check_linearizable",
+    "check_theorem_3_5",
+    "classify",
+    "find_critical_configuration",
+    "is_legal_history",
+    "make_on",
+    "make_on_prime",
+    "on_power",
+    "on_prime_power",
+    "op",
+    "register_array",
+    "separation_pair",
+]

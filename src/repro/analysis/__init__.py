@@ -1,0 +1,89 @@
+"""Verification machinery: model checking, valency, linearizability.
+
+* :mod:`repro.analysis.explorer` — bounded exhaustive exploration of
+  configuration graphs (safety counterexamples, livelocks, solo runs);
+* :mod:`repro.analysis.valency` — the FLP/bivalency calculus, computed;
+* :mod:`repro.analysis.linearizability` — Wing–Gong linearizability
+  checking against any sequential spec;
+* :mod:`repro.analysis.properties` — per-run auditors for simulations.
+"""
+
+from .commuting import (
+    CommutingViolation,
+    check_pair_commutes,
+    verify_disjoint_commutativity,
+    verify_read_transparency,
+)
+from .explorer import (
+    Configuration,
+    Edge,
+    ExplorationResult,
+    Explorer,
+    Livelock,
+    SafetyCounterexample,
+)
+from .linearizability import (
+    LinearizabilityChecker,
+    LinearizabilityVerdict,
+    check_linearizable,
+)
+from .suite import PhaseOutcome, SuiteVerdict, verify_task_protocol
+from .properties import (
+    RunAudit,
+    WaitFreedomAudit,
+    audit_dac_run,
+    audit_task_run,
+    audit_wait_freedom,
+)
+from .valency_analyzer import CriticalReport, HookStep, ValencyAnalyzer
+from .valency import (
+    BIVALENT,
+    CriticalConfiguration,
+    DECISIONLESS,
+    InitialValencyReport,
+    ONE_VALENT,
+    Valency,
+    ZERO_VALENT,
+    classify,
+    contended_object,
+    find_critical_configuration,
+    initial_valency_report,
+)
+
+__all__ = [
+    "BIVALENT",
+    "CommutingViolation",
+    "Configuration",
+    "CriticalConfiguration",
+    "CriticalReport",
+    "HookStep",
+    "ValencyAnalyzer",
+    "DECISIONLESS",
+    "Edge",
+    "ExplorationResult",
+    "Explorer",
+    "InitialValencyReport",
+    "Livelock",
+    "PhaseOutcome",
+    "SuiteVerdict",
+    "LinearizabilityChecker",
+    "LinearizabilityVerdict",
+    "ONE_VALENT",
+    "RunAudit",
+    "SafetyCounterexample",
+    "Valency",
+    "WaitFreedomAudit",
+    "ZERO_VALENT",
+    "audit_dac_run",
+    "audit_task_run",
+    "audit_wait_freedom",
+    "check_linearizable",
+    "check_pair_commutes",
+    "verify_disjoint_commutativity",
+    "verify_read_transparency",
+    "classify",
+    "verify_task_protocol",
+    "contended_object",
+    "find_critical_configuration",
+    "initial_valency_report",
+]

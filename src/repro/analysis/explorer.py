@@ -1,0 +1,496 @@
+"""Bounded exhaustive exploration of system configurations.
+
+This module mechanizes the configuration calculus of the paper's
+bivalency proofs. A :class:`Configuration` is an immutable value —
+process local states and statuses plus object states — and the
+:class:`Explorer` computes its successor relation exactly as the proofs
+do: the adversary picks which process moves *and*, for nondeterministic
+objects (the 2-SA), which allowed response it receives.
+
+On top of the raw graph the explorer offers:
+
+* :meth:`Explorer.explore` — the reachable graph (bounded), with parent
+  pointers so any configuration can be turned into a concrete schedule;
+* :meth:`Explorer.check_safety` — audit a
+  :class:`~repro.protocols.tasks.DecisionTask`'s safety predicate on
+  every reachable configuration, returning a violating schedule if one
+  exists;
+* :meth:`Explorer.find_livelock` — find a reachable cycle in which
+  processes keep stepping without deciding (the adversarial infinite
+  runs the proofs construct);
+* :meth:`Explorer.solo_termination` — check the solo-run termination
+  rubric (n-DAC Termination (a)/(b)).
+
+Valency computations live in :mod:`repro.analysis.valency`, built on
+:meth:`Explorer.decision_values`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..errors import AnalysisError, ExplorationBudgetExceeded
+from ..objects.spec import SequentialSpec
+from ..runtime.events import Abort, Decide, Halt, Invoke
+from ..runtime.process import ProcessAutomaton
+from ..types import ProcessId, Value
+from ..protocols.tasks import DecisionTask, SafetyVerdict
+
+#: Process status encodings inside a configuration (hashable tuples).
+RUNNING = ("running",)
+HALTED = ("halted",)
+ABORTED = ("aborted",)
+
+
+def _decided(value: Value) -> Tuple[str, Value]:
+    return ("decided", value)
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable global state: local states, statuses, object states.
+
+    ``statuses[i]`` is one of ``RUNNING``, ``HALTED``, ``ABORTED`` or
+    ``("decided", v)``. Object states are ordered by the explorer's
+    fixed object-name order.
+    """
+
+    process_states: Tuple[Hashable, ...]
+    statuses: Tuple[Tuple, ...]
+    object_states: Tuple[Hashable, ...]
+
+    def decisions(self) -> Dict[ProcessId, Value]:
+        """pid → decided value, for the processes decided *in* this
+        configuration."""
+        return {
+            pid: status[1]
+            for pid, status in enumerate(self.statuses)
+            if status[0] == "decided"
+        }
+
+    def aborted(self) -> Tuple[ProcessId, ...]:
+        return tuple(
+            pid for pid, status in enumerate(self.statuses) if status is ABORTED
+        )
+
+    def enabled(self) -> Tuple[ProcessId, ...]:
+        return tuple(
+            pid for pid, status in enumerate(self.statuses) if status is RUNNING
+        )
+
+    def is_quiescent(self) -> bool:
+        return not self.enabled()
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One transition: process ``pid`` moved, adversary chose outcome
+    ``choice``, object answered ``response``."""
+
+    pid: ProcessId
+    choice: int
+    response: Value
+
+
+@dataclass
+class ExplorationResult:
+    """The reachable (bounded) configuration graph.
+
+    ``parents`` maps each configuration to one (parent, edge) pair —
+    enough to reconstruct a witness schedule with :func:`schedule_to`.
+    ``complete`` is False when a budget truncated the search, in which
+    case absence of a violation is *not* a proof.
+    """
+
+    initial: Configuration
+    configurations: Set[Configuration] = field(default_factory=set)
+    successors: Dict[Configuration, List[Tuple[Edge, Configuration]]] = field(
+        default_factory=dict
+    )
+    parents: Dict[Configuration, Tuple[Configuration, Edge]] = field(
+        default_factory=dict
+    )
+    complete: bool = True
+
+    def schedule_to(self, target: Configuration) -> List[Edge]:
+        """Reconstruct the schedule (edge sequence) reaching ``target``."""
+        if target not in self.configurations:
+            raise AnalysisError("target configuration was never reached")
+        edges: List[Edge] = []
+        cursor = target
+        while cursor != self.initial:
+            parent, edge = self.parents[cursor]
+            edges.append(edge)
+            cursor = parent
+        edges.reverse()
+        return edges
+
+    def __len__(self) -> int:
+        return len(self.configurations)
+
+
+@dataclass(frozen=True)
+class SafetyCounterexample:
+    """A reachable configuration violating a task's safety predicate."""
+
+    configuration: Configuration
+    verdict: SafetyVerdict
+    schedule: Tuple[Edge, ...]
+
+
+@dataclass(frozen=True)
+class Livelock:
+    """A reachable cycle in which processes step without deciding.
+
+    ``prefix`` reaches ``entry``; following ``cycle`` from ``entry``
+    returns to it. ``moving`` are the pids that take steps inside the
+    cycle — each takes infinitely many steps without deciding when the
+    adversary loops forever.
+    """
+
+    entry: Configuration
+    prefix: Tuple[Edge, ...]
+    cycle: Tuple[Edge, ...]
+    moving: FrozenSet[ProcessId]
+
+
+class Explorer:
+    """Exhaustive (bounded) explorer for one protocol instance.
+
+    ``objects`` maps names to specs; ``processes`` must be pure automata
+    (``supports_snapshot``), which is what makes configurations values.
+    """
+
+    def __init__(
+        self,
+        objects: Mapping[str, SequentialSpec],
+        processes: Sequence[ProcessAutomaton],
+    ) -> None:
+        for automaton in processes:
+            if not automaton.supports_snapshot:
+                raise AnalysisError(
+                    f"process {automaton.pid} is generator-based and cannot "
+                    f"be model-checked; use a ProcessAutomaton"
+                )
+        pids = [automaton.pid for automaton in processes]
+        if pids != list(range(len(pids))):
+            raise AnalysisError(
+                f"explorer requires densely numbered pids 0..n-1, got {pids}"
+            )
+        self.object_names: Tuple[str, ...] = tuple(sorted(objects))
+        self.specs: Tuple[SequentialSpec, ...] = tuple(
+            objects[name] for name in self.object_names
+        )
+        self._index_of = {name: i for i, name in enumerate(self.object_names)}
+        self.processes: Tuple[ProcessAutomaton, ...] = tuple(processes)
+
+    # -- configuration construction -----------------------------------------
+
+    def initial_configuration(self) -> Configuration:
+        states = tuple(auto.initial_state() for auto in self.processes)
+        statuses = tuple(RUNNING for _ in self.processes)
+        objects = tuple(spec.initial_state() for spec in self.specs)
+        return self._absorb(Configuration(states, statuses, objects))
+
+    def _absorb(self, config: Configuration) -> Configuration:
+        """Settle local actions: decided/aborted/halted processes are
+        marked immediately (decisions are not shared-memory steps)."""
+        statuses = list(config.statuses)
+        changed = False
+        for pid, automaton in enumerate(self.processes):
+            if statuses[pid] is not RUNNING:
+                continue
+            action = automaton.next_action(config.process_states[pid])
+            if isinstance(action, Decide):
+                statuses[pid] = _decided(action.value)
+                changed = True
+            elif isinstance(action, Abort):
+                statuses[pid] = ABORTED
+                changed = True
+            elif isinstance(action, Halt):
+                statuses[pid] = HALTED
+                changed = True
+        if not changed:
+            return config
+        return Configuration(
+            config.process_states, tuple(statuses), config.object_states
+        )
+
+    def successors(
+        self, config: Configuration
+    ) -> List[Tuple[Edge, Configuration]]:
+        """All (edge, configuration) pairs one adversary step away."""
+        result: List[Tuple[Edge, Configuration]] = []
+        for pid in config.enabled():
+            automaton = self.processes[pid]
+            action = automaton.next_action(config.process_states[pid])
+            if not isinstance(action, Invoke):
+                raise AnalysisError(
+                    f"process {pid} has unabsorbed local action {action!r}"
+                )
+            obj_index = self._index_of.get(action.obj)
+            if obj_index is None:
+                raise AnalysisError(
+                    f"process {pid} invoked unknown object {action.obj!r}"
+                )
+            spec = self.specs[obj_index]
+            outcomes = spec.responses(
+                config.object_states[obj_index], action.operation
+            )
+            for choice, (obj_state, response) in enumerate(outcomes):
+                local = automaton.transition(
+                    config.process_states[pid], response
+                )
+                states = (
+                    config.process_states[:pid]
+                    + (local,)
+                    + config.process_states[pid + 1 :]
+                )
+                objects = (
+                    config.object_states[:obj_index]
+                    + (obj_state,)
+                    + config.object_states[obj_index + 1 :]
+                )
+                successor = self._absorb(
+                    Configuration(states, config.statuses, objects)
+                )
+                result.append((Edge(pid, choice, response), successor))
+        return result
+
+    def step(
+        self, config: Configuration, pid: ProcessId, choice: int = 0
+    ) -> Configuration:
+        """Follow one specific edge (process ``pid``, outcome ``choice``)."""
+        for edge, successor in self.successors(config):
+            if edge.pid == pid and edge.choice == choice:
+                return successor
+        raise AnalysisError(
+            f"no successor for pid={pid} choice={choice} from this "
+            f"configuration (enabled: {config.enabled()})"
+        )
+
+    # -- graph exploration ---------------------------------------------------
+
+    def explore(
+        self,
+        initial: Optional[Configuration] = None,
+        max_configurations: int = 200_000,
+        strict: bool = False,
+    ) -> ExplorationResult:
+        """BFS the reachable configuration graph from ``initial``.
+
+        Stops at ``max_configurations`` (marking the result incomplete,
+        or raising in ``strict`` mode).
+        """
+        start = initial if initial is not None else self.initial_configuration()
+        result = ExplorationResult(initial=start)
+        result.configurations.add(start)
+        frontier: List[Configuration] = [start]
+        while frontier:
+            next_frontier: List[Configuration] = []
+            for config in frontier:
+                edges = self.successors(config)
+                result.successors[config] = edges
+                for edge, successor in edges:
+                    if successor in result.configurations:
+                        continue
+                    if len(result.configurations) >= max_configurations:
+                        if strict:
+                            raise ExplorationBudgetExceeded(
+                                f"exceeded {max_configurations} configurations"
+                            )
+                        result.complete = False
+                        return result
+                    result.configurations.add(successor)
+                    result.parents[successor] = (config, edge)
+                    next_frontier.append(successor)
+            frontier = next_frontier
+        return result
+
+    # -- analyses ------------------------------------------------------------
+
+    def check_safety(
+        self,
+        task: DecisionTask,
+        inputs: Sequence[Value],
+        initial: Optional[Configuration] = None,
+        max_configurations: int = 200_000,
+    ) -> Optional[SafetyCounterexample]:
+        """Audit safety at every reachable configuration.
+
+        Returns a counterexample (with its witness schedule) or None. A
+        None from an incomplete exploration raises — absence of evidence
+        under a truncated search is not evidence.
+        """
+        exploration = self.explore(initial, max_configurations)
+        for config in exploration.configurations:
+            verdict = task.check_safety(
+                inputs, config.decisions(), config.aborted()
+            )
+            if not verdict.ok:
+                return SafetyCounterexample(
+                    configuration=config,
+                    verdict=verdict,
+                    schedule=tuple(exploration.schedule_to(config)),
+                )
+        if not exploration.complete:
+            raise ExplorationBudgetExceeded(
+                "no violation found, but the exploration was truncated; "
+                "raise max_configurations"
+            )
+        return None
+
+    def decision_values(
+        self,
+        config: Configuration,
+        pid: Optional[ProcessId] = None,
+        max_configurations: int = 200_000,
+    ) -> FrozenSet[Value]:
+        """All values decided anywhere in the subgraph reachable from
+        ``config`` (restricted to ``pid``'s decisions if given).
+
+        This is the semantic core of valency: a configuration is
+        v-valent iff ``decision_values`` is a subset of ``{v}``.
+        """
+        exploration = self.explore(config, max_configurations)
+        if not exploration.complete:
+            raise ExplorationBudgetExceeded(
+                "decision_values needs a complete subgraph; raise the budget"
+            )
+        values: Set[Value] = set()
+        for reached in exploration.configurations:
+            for decider, value in reached.decisions().items():
+                if pid is None or decider == pid:
+                    values.add(value)
+        return frozenset(values)
+
+    def find_livelock(
+        self,
+        initial: Optional[Configuration] = None,
+        max_configurations: int = 200_000,
+        require_undecided_mover: bool = True,
+    ) -> Optional[Livelock]:
+        """Find a reachable cycle — an adversarial infinite run.
+
+        With ``require_undecided_mover`` (default) the cycle must move
+        at least one process that never decides inside it, i.e. a
+        genuine liveness violation witness ("takes infinitely many steps
+        without deciding").
+        """
+        exploration = self.explore(initial, max_configurations)
+        if not exploration.complete:
+            raise ExplorationBudgetExceeded(
+                "livelock search needs a complete graph; raise the budget"
+            )
+        # Iterative DFS with colors to find a back edge.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[Configuration, int] = {
+            c: WHITE for c in exploration.configurations
+        }
+        on_path: List[Tuple[Configuration, Edge]] = []
+        start = exploration.initial
+
+        stack: List[Tuple[Configuration, int]] = [(start, 0)]
+        color[start] = GRAY
+        while stack:
+            config, edge_index = stack[-1]
+            edges = exploration.successors.get(config, [])
+            if edge_index >= len(edges):
+                color[config] = BLACK
+                stack.pop()
+                if on_path:
+                    on_path.pop()
+                continue
+            stack[-1] = (config, edge_index + 1)
+            edge, successor = edges[edge_index]
+            if color.get(successor, WHITE) == GRAY:
+                # Back edge: cycle successor -> ... -> config -> successor.
+                cycle_edges: List[Edge] = []
+                collecting = False
+                for path_config, path_edge in on_path:
+                    if path_config == successor:
+                        collecting = True
+                    if collecting:
+                        cycle_edges.append(path_edge)
+                cycle_edges.append(edge)
+                moving = frozenset(e.pid for e in cycle_edges)
+                undecided = {
+                    pid
+                    for pid in moving
+                    if successor.statuses[pid] is RUNNING
+                }
+                if not require_undecided_mover or undecided:
+                    return Livelock(
+                        entry=successor,
+                        prefix=tuple(exploration.schedule_to(successor)),
+                        cycle=tuple(cycle_edges),
+                        moving=moving,
+                    )
+                continue
+            if color.get(successor, WHITE) == WHITE:
+                color[successor] = GRAY
+                on_path.append((config, edge))
+                stack.append((successor, 0))
+        return None
+
+    def solo_termination(
+        self,
+        pid: ProcessId,
+        initial: Optional[Configuration] = None,
+        max_configurations: int = 50_000,
+    ) -> bool:
+        """Does ``pid`` decide (or abort) in *every* solo run from here?
+
+        Explores the subgraph where only ``pid`` moves; True iff every
+        maximal solo path ends with ``pid`` terminated and the subgraph
+        is acyclic (a solo cycle = a solo run that never decides). This
+        is n-DAC Termination (a)/(b) and the "q-solo history" device the
+        proofs invoke constantly.
+        """
+        start = initial if initial is not None else self.initial_configuration()
+        seen: Set[Configuration] = set()
+        path: Set[Configuration] = set()
+
+        def terminated(config: Configuration) -> bool:
+            return config.statuses[pid] is not RUNNING
+
+        def dfs(config: Configuration) -> bool:
+            if terminated(config):
+                return True
+            if config in path:
+                return False  # solo cycle: pid steps forever undecided
+            if config in seen:
+                return True
+            if len(seen) >= max_configurations:
+                raise ExplorationBudgetExceeded(
+                    "solo_termination budget exceeded"
+                )
+            seen.add(config)
+            path.add(config)
+            edges = [
+                (edge, successor)
+                for edge, successor in self.successors(config)
+                if edge.pid == pid
+            ]
+            if not edges:
+                # pid is enabled but has no successor — cannot happen for
+                # total objects; treat as non-termination.
+                path.discard(config)
+                return False
+            verdict = all(dfs(successor) for _, successor in edges)
+            path.discard(config)
+            return verdict
+
+        return dfs(start)

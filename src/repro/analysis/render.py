@@ -1,0 +1,153 @@
+"""Human-readable rendering of runs, witnesses, and configurations.
+
+The explorer's outputs — counterexample schedules, livelocks, critical
+configurations — are the artifacts a user actually reads when a theorem
+experiment speaks. These renderers turn them into terse, stable text
+(used by the CLI, the examples, and error messages; covered by
+``tests/analysis/test_render.py`` so the formats don't drift silently).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..runtime.history import ConcurrentHistory, Inv, Res, RunHistory
+from .explorer import (
+    Configuration,
+    Edge,
+    Explorer,
+    Livelock,
+    SafetyCounterexample,
+)
+from .valency_analyzer import CriticalReport
+
+
+def render_schedule(
+    explorer: Explorer,
+    edges: Sequence[Edge],
+    start: Optional[Configuration] = None,
+) -> str:
+    """Replay ``edges`` from ``start`` and render each step with the
+    operation performed and the response received."""
+    config = start if start is not None else explorer.initial_configuration()
+    lines: List[str] = []
+    for index, edge in enumerate(edges):
+        automaton = explorer.processes[edge.pid]
+        action = automaton.next_action(config.process_states[edge.pid])
+        choice = f" [choice {edge.choice}]" if edge.choice else ""
+        lines.append(
+            f"  {index + 1:>3}. p{edge.pid}: {action} -> "
+            f"{edge.response!r}{choice}"
+        )
+        config = explorer.step(config, edge.pid, edge.choice)
+    return "\n".join(lines)
+
+
+def render_counterexample(
+    explorer: Explorer, counterexample: SafetyCounterexample
+) -> str:
+    """A violating schedule plus the violated properties."""
+    parts = ["violating schedule:"]
+    parts.append(render_schedule(explorer, counterexample.schedule))
+    decisions = counterexample.configuration.decisions()
+    if decisions:
+        rendered = ", ".join(
+            f"p{pid}={value!r}" for pid, value in sorted(decisions.items())
+        )
+        parts.append(f"  decisions: {rendered}")
+    aborted = counterexample.configuration.aborted()
+    if aborted:
+        parts.append(f"  aborted: {sorted(aborted)}")
+    for violation in counterexample.verdict.violations:
+        parts.append(f"  violated: {violation}")
+    return "\n".join(parts)
+
+
+def render_livelock(explorer: Explorer, livelock: Livelock) -> str:
+    """An adversarial loop: its prefix, its cycle, who starves."""
+    parts = [f"prefix ({len(livelock.prefix)} steps):"]
+    if livelock.prefix:
+        parts.append(render_schedule(explorer, livelock.prefix))
+    else:
+        parts.append("  (starts at the initial configuration)")
+    parts.append(f"cycle ({len(livelock.cycle)} steps, repeats forever):")
+    parts.append(
+        render_schedule(explorer, livelock.cycle, start=livelock.entry)
+    )
+    starving = sorted(
+        pid
+        for pid in livelock.moving
+        if livelock.entry.statuses[pid][0] == "running"
+    )
+    parts.append(f"starving processes: {starving}")
+    return "\n".join(parts)
+
+
+def render_configuration(
+    explorer: Explorer, config: Configuration
+) -> str:
+    """Statuses, pending actions, and object states of a configuration."""
+    lines: List[str] = []
+    for pid, status in enumerate(config.statuses):
+        if status[0] == "running":
+            action = explorer.processes[pid].next_action(
+                config.process_states[pid]
+            )
+            lines.append(f"  p{pid}: running, poised at {action}")
+        elif status[0] == "decided":
+            lines.append(f"  p{pid}: decided {status[1]!r}")
+        else:
+            lines.append(f"  p{pid}: {status[0]}")
+    for name, state in zip(explorer.object_names, config.object_states):
+        lines.append(f"  {name}: {state!r}")
+    return "\n".join(lines)
+
+
+def render_critical_report(
+    explorer: Explorer, report: CriticalReport
+) -> str:
+    """A critical configuration with its decisive hook steps."""
+    parts = ["critical configuration:"]
+    parts.append(render_configuration(explorer, report.configuration))
+    for hook in report.hooks:
+        parts.append(
+            f"  if p{hook.edge.pid} steps (choice {hook.edge.choice}) "
+            f"-> {hook.label}"
+        )
+    return "\n".join(parts)
+
+
+def render_run_history(history: RunHistory, limit: int = 50) -> str:
+    """A completed run: steps (truncated) and final outcomes."""
+    lines: List[str] = []
+    for step in history.steps[:limit]:
+        lines.append(f"  {step}")
+    if len(history.steps) > limit:
+        lines.append(f"  ... ({len(history.steps) - limit} more steps)")
+    if history.decisions:
+        rendered = ", ".join(
+            f"p{pid}={value!r}"
+            for pid, value in sorted(history.decisions.items())
+        )
+        lines.append(f"  decisions: {rendered}")
+    if history.aborted:
+        lines.append(f"  aborted: {sorted(history.aborted)}")
+    if history.halted:
+        lines.append(f"  halted: {sorted(history.halted)}")
+    return "\n".join(lines)
+
+
+def render_concurrent_history(history: ConcurrentHistory) -> str:
+    """Invocation/response events with nesting-friendly arrows."""
+    lines: List[str] = []
+    for event in history.events:
+        if isinstance(event, Inv):
+            lines.append(
+                f"  p{event.pid} ---> [{event.op_id}] {event.operation}"
+            )
+        else:
+            assert isinstance(event, Res)
+            lines.append(
+                f"  p{event.pid} <--- [{event.op_id}] {event.response!r}"
+            )
+    return "\n".join(lines)

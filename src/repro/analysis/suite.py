@@ -1,0 +1,151 @@
+"""One-call verification suites: explorer + adversary family + auditors.
+
+The experiments keep repeating a verification recipe:
+
+1. exhaustively model-check safety (and optionally solo termination /
+   starvation-freedom) for the small instance;
+2. sweep the named adversary family over the larger instance and audit
+   every run.
+
+:func:`verify_task_protocol` packages the recipe; it returns a
+:class:`SuiteVerdict` with per-phase outcomes and is the engine behind
+the protocol-facing tests added after its introduction (earlier tests
+spell the recipe out — both forms are kept on purpose, the explicit
+ones double as documentation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import SpecificationError
+from ..protocols.tasks import DecisionTask
+from ..runtime.system import System
+from ..types import Value, require
+from .explorer import Explorer
+from .properties import audit_task_run
+
+
+@dataclass(frozen=True)
+class PhaseOutcome:
+    """One verification phase's outcome."""
+
+    phase: str
+    ok: bool
+    detail: str
+
+
+@dataclass
+class SuiteVerdict:
+    """All phases, plus an aggregate flag."""
+
+    phases: List[PhaseOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(phase.ok for phase in self.phases)
+
+    def failed_phases(self) -> List[PhaseOutcome]:
+        return [phase for phase in self.phases if not phase.ok]
+
+
+def verify_task_protocol(
+    task: DecisionTask,
+    make_system: Callable[[Tuple[Value, ...]], Tuple[dict, list]],
+    exhaustive_inputs: Optional[Sequence[Tuple[Value, ...]]] = None,
+    require_wait_free: bool = True,
+    require_solo_termination: bool = True,
+    simulation_inputs: Optional[Tuple[Value, ...]] = None,
+    simulation_seeds: int = 10,
+    max_steps: int = 4000,
+    max_configurations: int = 400_000,
+) -> SuiteVerdict:
+    """Run the standard verification recipe for one protocol.
+
+    ``make_system(inputs)`` builds ``(object table, process list)``.
+    ``exhaustive_inputs`` defaults to the task's own assignment space.
+    """
+    verdict = SuiteVerdict()
+
+    inputs_list = list(
+        exhaustive_inputs
+        if exhaustive_inputs is not None
+        else task.input_assignments()
+    )
+    require(bool(inputs_list), SpecificationError, "no input assignments")
+
+    # Phase 1: exhaustive safety.
+    bad_inputs = []
+    for inputs in inputs_list:
+        objects, processes = make_system(tuple(inputs))
+        explorer = Explorer(objects, processes)
+        counterexample = explorer.check_safety(
+            task, inputs, max_configurations=max_configurations
+        )
+        if counterexample is not None:
+            bad_inputs.append(tuple(inputs))
+    verdict.phases.append(
+        PhaseOutcome(
+            "exhaustive-safety",
+            not bad_inputs,
+            f"{len(inputs_list)} assignments"
+            + (f"; violations at {bad_inputs}" if bad_inputs else ""),
+        )
+    )
+
+    # Phase 2: starvation-freedom (wait-free protocols only).
+    if require_wait_free:
+        starving = []
+        for inputs in inputs_list:
+            objects, processes = make_system(tuple(inputs))
+            explorer = Explorer(objects, processes)
+            if explorer.find_livelock(max_configurations=max_configurations):
+                starving.append(tuple(inputs))
+        verdict.phases.append(
+            PhaseOutcome(
+                "no-livelock",
+                not starving,
+                f"checked {len(inputs_list)} assignments"
+                + (f"; loops at {starving}" if starving else ""),
+            )
+        )
+
+    # Phase 3: solo termination.
+    if require_solo_termination:
+        stuck = []
+        for inputs in inputs_list:
+            objects, processes = make_system(tuple(inputs))
+            explorer = Explorer(objects, processes)
+            for pid in range(task.num_processes):
+                if not explorer.solo_termination(pid):
+                    stuck.append((tuple(inputs), pid))
+        verdict.phases.append(
+            PhaseOutcome(
+                "solo-termination",
+                not stuck,
+                f"every process, every assignment"
+                + (f"; stuck: {stuck}" if stuck else ""),
+            )
+        )
+
+    # Phase 4: randomized adversaries on the nominated instance.
+    if simulation_inputs is not None:
+        from ..runtime.scheduler import SeededScheduler
+
+        failures = 0
+        for seed in range(simulation_seeds):
+            objects, processes = make_system(tuple(simulation_inputs))
+            system = System(objects, processes)
+            history = system.run(SeededScheduler(seed), max_steps=max_steps)
+            if not audit_task_run(task, simulation_inputs, history).ok:
+                failures += 1
+        verdict.phases.append(
+            PhaseOutcome(
+                "randomized-adversaries",
+                failures == 0,
+                f"{simulation_seeds} seeds, {failures} failures",
+            )
+        )
+
+    return verdict

@@ -1,0 +1,167 @@
+"""Whole-graph valency analysis with shared memoization.
+
+:func:`repro.analysis.valency.classify` answers one configuration's
+valency by exploring its reachable subgraph — fine for a handful of
+queries, wasteful for the proofs' access pattern (classify *every*
+configuration, then hunt for critical ones). :class:`ValencyAnalyzer`
+does the whole job in two passes over a single exploration:
+
+1. explore the reachable graph once (forward);
+2. propagate decision sets backwards to a fixpoint — each
+   configuration's decision set is the union of its own decisions and
+   its successors' sets. Cycles are handled by iterating until nothing
+   changes (the sets are small and monotone, so this converges
+   quickly).
+
+On top of the per-configuration sets the analyzer offers the proofs'
+vocabulary directly: bivalent configurations, *critical* configurations
+(bivalent, every successor univalent — Claim 4.2.5 / 5.2.2), and the
+hook-step structure around them (which process's step decides which
+way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import AnalysisError
+from ..types import Value
+from .explorer import Configuration, Edge, ExplorationResult, Explorer
+from .valency import BIVALENT, DECISIONLESS, ONE_VALENT, ZERO_VALENT
+
+
+@dataclass(frozen=True)
+class HookStep:
+    """One decisive step out of a critical configuration."""
+
+    edge: Edge
+    label: str
+
+
+@dataclass(frozen=True)
+class CriticalReport:
+    """A critical configuration plus its decisive outgoing steps."""
+
+    configuration: Configuration
+    hooks: Tuple[HookStep, ...]
+
+    def directions(self) -> Set[str]:
+        return {hook.label for hook in self.hooks}
+
+
+class ValencyAnalyzer:
+    """Classify every reachable configuration of one protocol instance."""
+
+    def __init__(
+        self,
+        explorer: Explorer,
+        initial: Optional[Configuration] = None,
+        domain: Tuple[Value, Value] = (0, 1),
+        max_configurations: int = 200_000,
+    ) -> None:
+        self.explorer = explorer
+        self.domain = domain
+        start = initial if initial is not None else explorer.initial_configuration()
+        self.graph: ExplorationResult = explorer.explore(
+            start, max_configurations
+        )
+        if not self.graph.complete:
+            raise AnalysisError(
+                "valency analysis needs the complete reachable graph; raise "
+                "max_configurations"
+            )
+        self._decisions = self._propagate()
+
+    # -- core computation ---------------------------------------------------
+
+    def _propagate(self) -> Dict[Configuration, FrozenSet[Value]]:
+        """Backward fixpoint of reachable decision sets."""
+        sets: Dict[Configuration, Set[Value]] = {}
+        for config in self.graph.configurations:
+            sets[config] = set(config.decisions().values())
+
+        # Iterate to fixpoint. Process in reverse-BFS order for speed
+        # (children of the frontier settle first on acyclic parts).
+        changed = True
+        while changed:
+            changed = False
+            for config in self.graph.configurations:
+                merged = sets[config]
+                before = len(merged)
+                for _edge, successor in self.graph.successors.get(config, []):
+                    merged |= sets[successor]
+                if len(merged) != before:
+                    changed = True
+        return {config: frozenset(s) for config, s in sets.items()}
+
+    # -- queries -------------------------------------------------------------
+
+    def decision_set(self, config: Configuration) -> FrozenSet[Value]:
+        """All decision values reachable from ``config`` (memoized)."""
+        try:
+            return self._decisions[config]
+        except KeyError:
+            raise AnalysisError(
+                "configuration is not in the analyzed reachable graph"
+            )
+
+    def label(self, config: Configuration) -> str:
+        values = self.decision_set(config)
+        zero, one = self.domain
+        has_zero, has_one = zero in values, one in values
+        if has_zero and has_one:
+            return BIVALENT
+        if has_zero:
+            return ZERO_VALENT
+        if has_one:
+            return ONE_VALENT
+        return DECISIONLESS
+
+    def bivalent_configurations(self) -> List[Configuration]:
+        return [
+            config
+            for config in self.graph.configurations
+            if self.label(config) == BIVALENT
+        ]
+
+    def critical_configurations(self) -> List[CriticalReport]:
+        """Every critical configuration in the reachable graph.
+
+        Critical = bivalent with all successors univalent (the shape
+        Claims 4.2.5 / 5.2.2 descend to). Returns each with its hook
+        steps labelled by the successor's valence.
+        """
+        reports: List[CriticalReport] = []
+        for config in self.graph.configurations:
+            if self.label(config) != BIVALENT:
+                continue
+            edges = self.graph.successors.get(config, [])
+            if not edges:
+                # Terminal yet bivalent: only possible when the
+                # protocol already violated agreement (two decisions
+                # present); not a critical configuration in the proof
+                # sense.
+                continue
+            labels = [(edge, self.label(successor)) for edge, successor in edges]
+            if any(label == BIVALENT for _edge, label in labels):
+                continue
+            reports.append(
+                CriticalReport(
+                    configuration=config,
+                    hooks=tuple(HookStep(edge, label) for edge, label in labels),
+                )
+            )
+        return reports
+
+    def schedule_to(self, config: Configuration) -> List[Edge]:
+        """Witness schedule from the analyzed initial configuration."""
+        return self.graph.schedule_to(config)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts per valency label over the whole reachable graph."""
+        counts: Dict[str, int] = {}
+        for config in self.graph.configurations:
+            label = self.label(config)
+            counts[label] = counts.get(label, 0) + 1
+        return counts

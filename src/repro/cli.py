@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — the 60-second n-PAC / Algorithm 2 tour;
+* ``check-algorithm2 --n N`` — model-check Theorem 4.1 at size N;
+* ``refute [--candidate NAME]`` — run the doomed-candidate suite and
+  render each witness (the executable face of Theorems 4.2 / 5.2);
+* ``separation --n N`` — the Corollary 6.6 pipeline at level N;
+* ``power`` — print the set agreement power table;
+* ``list-candidates`` — name the candidate suite.
+
+Every command exits 0 on "the paper's claim reproduced" and 1
+otherwise, so the CLI doubles as a smoke-check in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.explorer import Explorer
+from .analysis.render import render_counterexample, render_livelock
+from .core.pac import NPacSpec
+from .core.power import (
+    combined_pac_power,
+    m_consensus_power,
+    on_power,
+    register_power,
+    strong_sa_power,
+)
+from .protocols.candidates import all_candidates
+from .protocols.dac_from_pac import algorithm2_processes
+from .protocols.tasks import DacDecisionTask
+from .types import op
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    spec = NPacSpec(2)
+    _state, responses = spec.run(
+        [op("propose", "hello", 1), op("decide", 1)]
+    )
+    print(f"2-PAC: propose('hello', 1) -> {responses[0]!r}; "
+          f"decide(1) -> {responses[1]!r}")
+    inputs = (1, 0, 0)
+    explorer = Explorer({"PAC": NPacSpec(3)}, algorithm2_processes(inputs))
+    verdict = explorer.check_safety(DacDecisionTask(3), inputs)
+    print(f"Algorithm 2 @ n=3, inputs {inputs}: "
+          f"{'no violation over all schedules ✓' if verdict is None else 'VIOLATION'}")
+    return 0 if verdict is None else 1
+
+
+def _cmd_check_algorithm2(args: argparse.Namespace) -> int:
+    n = args.n
+    task = DacDecisionTask(n)
+    total_configs = 0
+    for inputs in task.input_assignments():
+        explorer = Explorer({"PAC": NPacSpec(n)}, algorithm2_processes(inputs))
+        counterexample = explorer.check_safety(task, inputs)
+        if counterexample is not None:
+            print(f"VIOLATION at inputs {inputs}:")
+            print(render_counterexample(explorer, counterexample))
+            return 1
+        for pid in range(n):
+            if not explorer.solo_termination(pid):
+                print(f"SOLO NON-TERMINATION: pid {pid}, inputs {inputs}")
+                return 1
+        total_configs += len(explorer.explore())
+    print(f"Theorem 4.1 @ n={n}: all {2 ** n} input assignments, "
+          f"{total_configs} configurations — safety + solo termination ✓")
+    return 0
+
+
+def _cmd_refute(args: argparse.Namespace) -> int:
+    candidates = all_candidates()
+    if args.candidate is not None:
+        candidates = [c for c in candidates if args.candidate in c.name]
+        if not candidates:
+            print(f"no candidate matching {args.candidate!r}; "
+                  f"see list-candidates")
+            return 1
+    status = 0
+    for candidate in candidates:
+        explorer = Explorer(candidate.objects, candidate.processes)
+        counterexample = explorer.check_safety(
+            candidate.task, candidate.inputs
+        )
+        livelock = explorer.find_livelock() if counterexample is None else None
+        print(f"\n=== {candidate.name} (expected: "
+              f"{candidate.expected_failure}) ===")
+        if counterexample is not None:
+            outcome = "safety"
+            print(render_counterexample(explorer, counterexample))
+        elif livelock is not None:
+            outcome = "liveness"
+            print(render_livelock(explorer, livelock))
+        else:
+            outcome = "none"
+            print("no violation found over all schedules (correct protocol)")
+        if outcome != candidate.expected_failure:
+            print(f"!! MISMATCH: expected {candidate.expected_failure}, "
+                  f"got {outcome}")
+            status = 1
+    return status
+
+
+def _cmd_separation(args: argparse.Namespace) -> int:
+    n = args.n
+    from .core.power import on_prime_power
+    from .protocols.candidates import dac_via_consensus, dac_via_sa_arbiter
+
+    print(on_power(n).describe(5))
+    print(on_prime_power(n).describe(5))
+    if not on_power(n).agrees_with(on_prime_power(n), 8):
+        print("POWER MISMATCH")
+        return 1
+    print("powers agree on the first 8 components ✓")
+
+    inputs = DacDecisionTask.paper_initial_inputs(n + 1)
+    task = DacDecisionTask(n + 1)
+    explorer = Explorer(
+        {"PAC": NPacSpec(n + 1)}, algorithm2_processes(inputs)
+    )
+    if explorer.check_safety(task, inputs) is not None:
+        print(f"O_{n} FAILED to solve {n + 1}-DAC")
+        return 1
+    print(f"O_{n} solves {n + 1}-DAC over all schedules ✓")
+
+    refuted = 0
+    candidates = [
+        dac_via_consensus(n, fallback="own"),
+        dac_via_consensus(n, fallback="spin"),
+        dac_via_sa_arbiter(n),
+    ]
+    for candidate in candidates:
+        cand_explorer = Explorer(candidate.objects, candidate.processes)
+        broken = cand_explorer.check_safety(candidate.task, candidate.inputs)
+        if broken is None and cand_explorer.find_livelock() is None:
+            print(f"candidate NOT refuted: {candidate.name}")
+            return 1
+        refuted += 1
+    print(f"{refuted}/{len(candidates)} candidate reductions over O'_{n}'s "
+          f"base family refuted ✓")
+    print(f"Corollary 6.6 at level {n}: same power, not equivalent.")
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from .core.relations import paper_ledger, separation_report
+
+    ledger = paper_ledger(args.n)
+    print(f"implementability ledger @ level n={args.n} "
+          f"(every edge re-verified just now):")
+    for edge in ledger.edges():
+        arrow = "--implements-->" if edge.positive else "--CANNOT-->"
+        print(f"  {edge.source} {arrow} {edge.target}")
+        print(f"      evidence: {edge.evidence}")
+    conflicts = ledger.check_consistency()
+    if conflicts:
+        for conflict in conflicts:
+            print(f"  !! CONFLICT: {conflict}")
+        return 1
+    report = separation_report(args.n)
+    print(f"\nCorollary 6.6 at level {args.n}: "
+          f"{'reproduced ✓' if report.reproduces_corollary_6_6 else 'NOT reproduced'}")
+    return 0 if report.reproduces_corollary_6_6 else 1
+
+
+def _cmd_power(_args: argparse.Namespace) -> int:
+    for power in [
+        register_power(),
+        m_consensus_power(2),
+        m_consensus_power(3),
+        strong_sa_power(2),
+        combined_pac_power(3, 2),
+        on_power(2),
+        on_power(3),
+    ]:
+        print(power.describe(6))
+    return 0
+
+
+def _cmd_list_candidates(_args: argparse.Namespace) -> int:
+    for candidate in all_candidates():
+        print(f"{candidate.name:55s} expected: {candidate.expected_failure}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Executable reproduction of 'Life Beyond Set Agreement' "
+        "(PODC 2017)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="60-second PAC / Algorithm 2 tour")
+
+    check = commands.add_parser(
+        "check-algorithm2", help="model-check Theorem 4.1 at size n"
+    )
+    check.add_argument("--n", type=int, default=3)
+
+    refute = commands.add_parser(
+        "refute", help="refute the doomed candidate suite with witnesses"
+    )
+    refute.add_argument("--candidate", default=None,
+                        help="substring of a candidate name")
+
+    separation = commands.add_parser(
+        "separation", help="run the Corollary 6.6 pipeline at level n"
+    )
+    separation.add_argument("--n", type=int, default=2)
+
+    commands.add_parser("power", help="print set agreement power table")
+    commands.add_parser("list-candidates", help="name the candidate suite")
+
+    ledger = commands.add_parser(
+        "ledger",
+        help="re-verify and print the implementability ledger at level n",
+    )
+    ledger.add_argument("--n", type=int, default=2)
+    return parser
+
+
+_HANDLERS = {
+    "demo": _cmd_demo,
+    "check-algorithm2": _cmd_check_algorithm2,
+    "refute": _cmd_refute,
+    "separation": _cmd_separation,
+    "power": _cmd_power,
+    "list-candidates": _cmd_list_candidates,
+    "ledger": _cmd_ledger,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""The paper's primary contribution: PAC objects and the separation pair.
+
+* :mod:`repro.core.pac` — the ``n``-PAC object (Algorithm 1), history
+  legality (Lemma 3.2), and the Theorem 3.5 property auditor.
+* :mod:`repro.core.dac` — the ``n``-DAC problem and the abortable DAC
+  object of [9].
+* :mod:`repro.core.set_agreement` — strong 2-SA and ``(n, k)``-SA.
+* :mod:`repro.core.combined` — the ``(n, m)``-PAC object (Section 5).
+* :mod:`repro.core.separation` — ``O_n``, ``O'_n`` (Section 6).
+* :mod:`repro.core.power` — set agreement power sequences with
+  certified bounds.
+"""
+
+from .combined import CombinedPacSpec, CombinedPacState
+from .dac import AbortableDacSpec, DacTask, DacVerdict
+from .hierarchy import HierarchyProbe, ProbeCell, builtin_catalog
+from .pac import (
+    NPacSpec,
+    PacState,
+    TheoremCheck,
+    check_theorem_3_5,
+    is_legal_history,
+    upset_after,
+)
+from .power_certification import (
+    Certification,
+    certify_bundle_level,
+    certify_combined_pac,
+    certify_m_consensus,
+    certify_power_prefix,
+    certify_registers,
+    certify_strong_sa,
+)
+from .relations import Edge as RelationEdge, Ledger, SeparationReport, paper_ledger, separation_report
+from .power import (
+    PowerBound,
+    SetAgreementPower,
+    combined_pac_power,
+    m_consensus_power,
+    on_power,
+    on_prime_power,
+    register_power,
+    strong_sa_power,
+)
+from .separation import (
+    SeparationPair,
+    SetAgreementBundleSpec,
+    make_on,
+    make_on_prime,
+    separation_pair,
+)
+from .set_agreement import (
+    NKSetAgreementSpec,
+    NKSaState,
+    StrongSetAgreementSpec,
+    UNBOUNDED,
+    sa_family_for_power,
+)
+
+__all__ = [
+    "AbortableDacSpec",
+    "CombinedPacSpec",
+    "CombinedPacState",
+    "DacTask",
+    "DacVerdict",
+    "NKSaState",
+    "NKSetAgreementSpec",
+    "NPacSpec",
+    "PacState",
+    "Ledger",
+    "RelationEdge",
+    "SeparationReport",
+    "paper_ledger",
+    "separation_report",
+    "PowerBound",
+    "Certification",
+    "HierarchyProbe",
+    "ProbeCell",
+    "builtin_catalog",
+    "certify_bundle_level",
+    "certify_combined_pac",
+    "certify_m_consensus",
+    "certify_power_prefix",
+    "certify_registers",
+    "certify_strong_sa",
+    "SeparationPair",
+    "SetAgreementBundleSpec",
+    "SetAgreementPower",
+    "StrongSetAgreementSpec",
+    "TheoremCheck",
+    "UNBOUNDED",
+    "check_theorem_3_5",
+    "combined_pac_power",
+    "is_legal_history",
+    "m_consensus_power",
+    "make_on",
+    "make_on_prime",
+    "on_power",
+    "on_prime_power",
+    "register_power",
+    "sa_family_for_power",
+    "separation_pair",
+    "strong_sa_power",
+    "upset_after",
+]

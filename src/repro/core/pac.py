@@ -1,0 +1,343 @@
+"""The ``n``-PAC (pseudo-abortable consensus) object — paper Section 3.
+
+The ``n``-PAC object is the paper's deterministic, non-abortable stand-in
+for the abortable ``n``-DAC object of Hadzilacos & Toueg [9]. It supports
+
+* ``PROPOSE(v, i)`` — record proposal ``v`` under label ``i ∈ [1..n]``,
+  always answering :data:`~repro.types.DONE`;
+* ``DECIDE(i)`` — complete the proposal with label ``i``, answering the
+  consensus value, or ⊥ when the object is upset or detected an
+  intervening operation.
+
+The object becomes permanently *upset* exactly when its operation
+history stops being *legal*: for every label ``i``, the subsequence of
+label-``i`` operations must start with a propose and alternate
+propose/decide (Lemma 3.2). This module implements Algorithm 1 verbatim
+as a :class:`~repro.objects.spec.SequentialSpec` and provides an
+*independent* legality checker so the equivalence of the two can be
+tested rather than assumed (experiment E2).
+
+Theorem 3.5's Agreement / Validity / Nontriviality properties are
+checked over histories by :func:`check_theorem_3_5` (experiment E1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidOperationError, SpecificationError
+from ..types import (
+    BOTTOM,
+    DONE,
+    NIL,
+    Label,
+    Operation,
+    Value,
+    is_special,
+    require,
+)
+from ..objects.spec import Outcome, SequentialSpec, expect_arity, reject_unknown
+
+
+@dataclass(frozen=True)
+class PacState:
+    """State of an ``n``-PAC object, mirroring Algorithm 1 exactly.
+
+    * ``upset`` — the permanent upset flag;
+    * ``proposals`` — the array ``V[1..n]`` (stored 0-indexed);
+    * ``last_label`` — the variable ``L`` (label of the last operation if
+      it was a propose, else NIL);
+    * ``value`` — the variable ``val`` (the consensus value, once fixed).
+    """
+
+    upset: bool
+    proposals: Tuple[Value, ...]
+    last_label: Value
+    value: Value
+
+    @staticmethod
+    def initial(n: int) -> "PacState":
+        return PacState(
+            upset=False, proposals=(NIL,) * n, last_label=NIL, value=NIL
+        )
+
+
+class NPacSpec(SequentialSpec):
+    """Sequential specification of the ``n``-PAC object (Algorithm 1).
+
+    The object is deterministic — the distinguishing feature versus the
+    nondeterministic abortable ``n``-DAC object it simulates.
+
+    >>> from repro.types import op, DONE, BOTTOM
+    >>> spec = NPacSpec(2)
+    >>> _, responses = spec.run([op("propose", 5, 1), op("decide", 1)])
+    >>> responses == (DONE, 5)
+    True
+    >>> # An intervening operation makes the decide return ⊥:
+    >>> _, responses = spec.run(
+    ...     [op("propose", 5, 1), op("propose", 6, 2), op("decide", 1)])
+    >>> responses[2] is BOTTOM
+    True
+    """
+
+    kind = "n-PAC"
+    deterministic = True
+
+    def __init__(self, n: int) -> None:
+        require(n >= 1, SpecificationError, f"n-PAC requires n >= 1, got {n}")
+        self.n = n
+        self.kind = f"{n}-PAC"
+
+    def initial_state(self) -> Hashable:
+        return PacState.initial(self.n)
+
+    def operation_names(self) -> Tuple[str, ...]:
+        return ("propose", "decide")
+
+    def _check_label(self, label: object) -> int:
+        if not isinstance(label, int) or not 1 <= label <= self.n:
+            raise InvalidOperationError(
+                f"{self.kind}: label must be an integer in [1..{self.n}], "
+                f"got {label!r}"
+            )
+        return label
+
+    def responses(self, state: Hashable, operation: Operation) -> Sequence[Outcome]:
+        assert isinstance(state, PacState)
+        if operation.name == "propose":
+            expect_arity(operation, 2, self.kind)
+            value, label = operation.args
+            label = self._check_label(label)
+            if is_special(value):
+                raise InvalidOperationError(
+                    f"{self.kind}: special value {value!r} may not be proposed"
+                )
+            return ((self._propose(state, value, label), DONE),)
+        if operation.name == "decide":
+            expect_arity(operation, 1, self.kind)
+            label = self._check_label(operation.args[0])
+            return (self._decide(state, label),)
+        reject_unknown(self, operation)
+        raise AssertionError("unreachable")
+
+    def _propose(self, state: PacState, value: Value, label: int) -> PacState:
+        """Lines 1-6 of Algorithm 1."""
+        index = label - 1
+        upset = state.upset or state.proposals[index] is not NIL
+        if upset:
+            return PacState(
+                upset=True,
+                proposals=state.proposals,
+                last_label=state.last_label,
+                value=state.value,
+            )
+        proposals = list(state.proposals)
+        proposals[index] = value
+        return PacState(
+            upset=False,
+            proposals=tuple(proposals),
+            last_label=label,
+            value=state.value,
+        )
+
+    def _decide(self, state: PacState, label: int) -> Outcome:
+        """Lines 7-17 of Algorithm 1."""
+        index = label - 1
+        upset = state.upset or state.proposals[index] is NIL
+        if upset:
+            return (
+                PacState(
+                    upset=True,
+                    proposals=state.proposals,
+                    last_label=state.last_label,
+                    value=state.value,
+                ),
+                BOTTOM,
+            )
+        if state.last_label != label:
+            response: Value = BOTTOM
+            value = state.value
+        else:
+            value = state.value if state.value is not NIL else state.proposals[index]
+            response = value
+        proposals = list(state.proposals)
+        proposals[index] = NIL
+        return (
+            PacState(
+                upset=False,
+                proposals=tuple(proposals),
+                last_label=NIL,
+                value=value,
+            ),
+            response,
+        )
+
+
+def is_legal_history(operations: Sequence[Operation], n: int) -> bool:
+    """Independent legality check for an ``n``-PAC history (Section 3).
+
+    A history is legal iff, for every label ``i ∈ [1..n]``, the
+    subsequence of operations carrying label ``i`` is either empty or
+    begins with a propose and alternates propose / decide. Implemented
+    directly from the definition — deliberately *not* via Algorithm 1 —
+    so that Lemma 3.2 can be validated by comparing this predicate to
+    the object's upset flag (experiment E2).
+    """
+    expecting_propose = {label: True for label in range(1, n + 1)}
+    for operation in operations:
+        label = _label_of(operation, n)
+        if operation.name == "propose":
+            if not expecting_propose[label]:
+                return False
+            expecting_propose[label] = False
+        else:
+            if expecting_propose[label]:
+                return False
+            expecting_propose[label] = True
+    return True
+
+
+def upset_after(operations: Sequence[Operation], n: int) -> bool:
+    """Run Algorithm 1 over ``operations`` and report the upset flag."""
+    spec = NPacSpec(n)
+    state, _responses = spec.run(list(operations))
+    assert isinstance(state, PacState)
+    return state.upset
+
+
+def _label_of(operation: Operation, n: int) -> int:
+    """Extract and validate the label of a PAC operation."""
+    if operation.name == "propose":
+        if len(operation.args) != 2:
+            raise InvalidOperationError(f"malformed PAC propose: {operation}")
+        label = operation.args[1]
+    elif operation.name == "decide":
+        if len(operation.args) != 1:
+            raise InvalidOperationError(f"malformed PAC decide: {operation}")
+        label = operation.args[0]
+    else:
+        raise InvalidOperationError(f"not a PAC operation: {operation}")
+    if not isinstance(label, int) or not 1 <= label <= n:
+        raise InvalidOperationError(f"label out of range in {operation}")
+    return label
+
+
+@dataclass(frozen=True)
+class TheoremCheck:
+    """Outcome of checking Theorem 3.5 on one history.
+
+    ``ok`` is True when all three properties hold; otherwise
+    ``violations`` names each failed property with a human-readable
+    explanation.
+    """
+
+    ok: bool
+    violations: Tuple[str, ...] = ()
+
+
+def check_theorem_3_5(
+    operations: Sequence[Operation], n: int
+) -> TheoremCheck:
+    """Check Agreement, Validity, and Nontriviality (Theorem 3.5).
+
+    Replays ``operations`` through Algorithm 1, then audits the
+    resulting (operation, response) sequence:
+
+    * **Agreement** — all non-⊥ decide responses are equal;
+    * **Validity** — every non-⊥ decide response ``v`` is the value of a
+      propose operation that *decides* ``v`` (i.e. ``v`` was proposed
+      under some label and the matching decide returned ``v``);
+    * **Nontriviality** — a decide returns ⊥ iff the object was upset
+      before it, or it is the first operation, or the immediately
+      preceding operation is not a propose with the same label.
+    """
+    spec = NPacSpec(n)
+    state = spec.initial_state()
+    violations: List[str] = []
+
+    decided_values: List[Value] = []
+    # For validity: the set of values v such that some propose(v, i)
+    # was immediately followed (label-wise) by a decide(i) returning v.
+    deciding_proposals: List[Value] = []
+    previous_operation: Optional[Operation] = None
+    pending_value = {label: None for label in range(1, n + 1)}
+
+    for position, operation in enumerate(operations):
+        assert isinstance(state, PacState)
+        was_upset = state.upset
+        state, response = spec.apply(state, operation)
+        label = _label_of(operation, n)
+        if operation.name == "propose":
+            pending_value[label] = operation.args[0]
+        else:
+            if response is not BOTTOM:
+                decided_values.append(response)
+                if pending_value[label] == response:
+                    deciding_proposals.append(response)
+                _audit_nontriviality_false_positive(
+                    position, was_upset, previous_operation, label, violations
+                )
+            else:
+                _audit_nontriviality_false_negative(
+                    position, was_upset, previous_operation, label, violations
+                )
+            pending_value[label] = None
+        previous_operation = operation
+
+    distinct = {repr(v): v for v in decided_values}
+    if len(distinct) > 1:
+        violations.append(
+            f"agreement: decide operations returned multiple values "
+            f"{sorted(distinct)}"
+        )
+    for value in decided_values:
+        if value not in deciding_proposals:
+            violations.append(
+                f"validity: decided value {value!r} was never proposed-and-"
+                f"decided by a matching pair"
+            )
+    return TheoremCheck(ok=not violations, violations=tuple(violations))
+
+
+def _audit_nontriviality_false_positive(
+    position: int,
+    was_upset: bool,
+    previous: Optional[Operation],
+    label: int,
+    violations: List[str],
+) -> None:
+    """A decide returned non-⊥: Theorem 3.5(c) says none of the ⊥
+    conditions may hold."""
+    if was_upset:
+        violations.append(
+            f"nontriviality: decide at {position} returned non-⊥ on an "
+            f"upset object"
+        )
+    if previous is None or previous.name != "propose" or previous.args[1] != label:
+        violations.append(
+            f"nontriviality: decide at {position} returned non-⊥ but the "
+            f"previous operation is not propose(-, {label})"
+        )
+
+
+def _audit_nontriviality_false_negative(
+    position: int,
+    was_upset: bool,
+    previous: Optional[Operation],
+    label: int,
+    violations: List[str],
+) -> None:
+    """A decide returned ⊥: Theorem 3.5(c) says one of the ⊥ conditions
+    must hold."""
+    condition_i = was_upset
+    condition_ii = (
+        previous is None
+        or previous.name != "propose"
+        or previous.args[1] != label
+    )
+    if not (condition_i or condition_ii):
+        violations.append(
+            f"nontriviality: decide at {position} returned ⊥ with no "
+            f"justifying condition"
+        )

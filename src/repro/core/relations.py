@@ -1,0 +1,300 @@
+"""The implementability relation, assembled from executed evidence.
+
+The paper's conclusions are statements about a relation between object
+families: *A implements B* (instances of A plus registers wait-free
+implement B), and its symmetric closure *equivalence*. This module
+keeps a ledger of that relation where every edge carries evidence:
+
+* **positive edges** are added only through :meth:`Ledger.verify` — a
+  callable that actually runs a verification (typically a
+  linearizability-checked implementation) must succeed first;
+* **negative edges** record refuted candidate suites plus the theorem
+  that generalizes them — honest provenance for statements no finite
+  run can prove.
+
+:func:`paper_ledger` populates the ledger for one hierarchy level
+``n`` by *running* the paper's constructive content (Observation 5.1,
+Lemma 6.4, Theorem 4.1) and recording the lower bounds' candidate
+refutations (Theorems 4.2/4.3). :func:`separation_report` then derives
+Corollary 6.6's shape from the ledger: same power, positive edges in
+neither direction's closure... and an explicit negative edge from
+``O'_n`` to ``O_n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import AnalysisError, SpecificationError
+from ..types import require
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One assertion ``source -> target`` with provenance."""
+
+    source: str
+    target: str
+    positive: bool
+    evidence: str
+
+
+class Ledger:
+    """An evidence-backed implementability relation between families."""
+
+    def __init__(self) -> None:
+        self._positive: Dict[Tuple[str, str], Edge] = {}
+        self._negative: Dict[Tuple[str, str], Edge] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def verify(
+        self,
+        source: str,
+        target: str,
+        check: Callable[[], bool],
+        evidence: str,
+    ) -> Edge:
+        """Record ``source implements target`` — only if ``check()``
+        passes right now."""
+        if not check():
+            raise AnalysisError(
+                f"verification failed for {source} -> {target}: {evidence}"
+            )
+        edge = Edge(source, target, positive=True, evidence=evidence)
+        self._positive[(source, target)] = edge
+        return edge
+
+    def refute(
+        self,
+        source: str,
+        target: str,
+        candidates_refuted: int,
+        theorem: str,
+    ) -> Edge:
+        """Record ``source does NOT implement target``, backed by a
+        refuted candidate suite plus the paper's theorem."""
+        require(
+            candidates_refuted >= 1,
+            SpecificationError,
+            "a refutation edge needs at least one refuted candidate",
+        )
+        evidence = (
+            f"{candidates_refuted} candidate(s) refuted with concrete "
+            f"witnesses; generalized by {theorem}"
+        )
+        edge = Edge(source, target, positive=False, evidence=evidence)
+        self._negative[(source, target)] = edge
+        return edge
+
+    # -- queries -------------------------------------------------------------
+
+    def implements(self, source: str, target: str) -> bool:
+        """Is ``source -> target`` derivable from positive edges?
+
+        Uses reflexive-transitive closure: implementability composes
+        (stack the implementations).
+        """
+        if source == target:
+            return True
+        frontier = [source]
+        seen = {source}
+        while frontier:
+            node = frontier.pop()
+            for (edge_source, edge_target), _edge in self._positive.items():
+                if edge_source == node and edge_target not in seen:
+                    if edge_target == target:
+                        return True
+                    seen.add(edge_target)
+                    frontier.append(edge_target)
+        return False
+
+    def refuted(self, source: str, target: str) -> Optional[Edge]:
+        return self._negative.get((source, target))
+
+    def equivalent(self, a: str, b: str) -> bool:
+        return self.implements(a, b) and self.implements(b, a)
+
+    def check_consistency(self) -> List[str]:
+        """Positive closure must not contradict a negative edge."""
+        conflicts = []
+        for (source, target), edge in self._negative.items():
+            if self.implements(source, target):
+                conflicts.append(
+                    f"{source} -> {target} both derivable and refuted "
+                    f"({edge.evidence})"
+                )
+        return conflicts
+
+    def nodes(self) -> FrozenSet[str]:
+        names: Set[str] = set()
+        for source, target in list(self._positive) + list(self._negative):
+            names.add(source)
+            names.add(target)
+        return frozenset(names)
+
+    def edges(self) -> List[Edge]:
+        return list(self._positive.values()) + list(self._negative.values())
+
+
+def paper_ledger(n: int = 2, seeds: int = 4) -> Ledger:
+    """Assemble the paper's level-``n`` relation from executed evidence.
+
+    Positive edges run the actual implementations through the
+    linearizability harness; negative edges run the candidate suite
+    through the explorer. Everything is re-verified at call time.
+    """
+    require(n >= 2, SpecificationError, f"levels start at n = 2, got {n}")
+    from ..analysis.explorer import Explorer
+    from ..protocols.candidates import dac_via_consensus, dac_via_sa_arbiter
+    from ..protocols.dac_from_pac import algorithm2_processes
+    from ..protocols.embodiment import (
+        combined_pac_from_parts,
+        consensus_from_combined,
+        on_prime_from_consensus_and_sa,
+        pac_from_combined,
+    )
+    from ..protocols.implementation import check_implementation
+    from ..protocols.tasks import DacDecisionTask
+    from ..runtime.scheduler import SeededScheduler
+    from ..types import op
+    from .pac import NPacSpec
+
+    ledger = Ledger()
+
+    def linearizable(impl, workloads) -> bool:
+        for seed in range(seeds):
+            verdict, _result = check_implementation(
+                impl, workloads, scheduler=SeededScheduler(seed)
+            )
+            if not verdict.ok:
+                return False
+        return True
+
+    on = f"O_{n}"
+    on_prime = f"O'_{n}"
+    n_cons = f"{n}-consensus"
+    pac = f"{n + 1}-PAC"
+    base_family = f"{n}-consensus + 2-SA + registers"
+
+    # Obs 5.1(a): O_n = (n+1, n)-PAC from (n+1)-PAC + n-consensus.
+    ledger.verify(
+        f"{pac} + {n_cons}",
+        on,
+        lambda: linearizable(
+            combined_pac_from_parts(n + 1, n),
+            {
+                0: [op("proposeC", "u"), op("proposeP", "x", 1), op("decideP", 1)],
+                1: [op("proposeC", "w"), op("proposeP", "y", 2)],
+            },
+        ),
+        "Obs 5.1(a), linearizability-checked",
+    )
+    # Obs 5.1(b): O_n implements the (n+1)-PAC.
+    ledger.verify(
+        on,
+        pac,
+        lambda: linearizable(
+            pac_from_combined(n + 1, n),
+            {
+                0: [op("propose", "a", 1), op("decide", 1)],
+                1: [op("propose", "b", 2), op("decide", 2)],
+            },
+        ),
+        "Obs 5.1(b), linearizability-checked",
+    )
+    # Obs 5.1(c): O_n implements n-consensus.
+    ledger.verify(
+        on,
+        n_cons,
+        lambda: linearizable(
+            consensus_from_combined(n + 1, n),
+            {0: [op("propose", "a")], 1: [op("propose", "b")]},
+        ),
+        "Obs 5.1(c), linearizability-checked",
+    )
+    # Lemma 6.4: the base family implements O'_n.
+    ledger.verify(
+        base_family,
+        on_prime,
+        lambda: linearizable(
+            on_prime_from_consensus_and_sa(n, levels=3),
+            {
+                0: [op("propose", "a", 1), op("propose", "x", 2)],
+                1: [op("propose", "b", 2), op("propose", "y", 3)],
+            },
+        ),
+        "Lemma 6.4, linearizability-checked",
+    )
+    # Theorem 4.1: the (n+1)-PAC solves (n+1)-DAC — model-checked.
+    inputs = DacDecisionTask.paper_initial_inputs(n + 1)
+
+    def pac_solves_dac() -> bool:
+        explorer = Explorer(
+            {"PAC": NPacSpec(n + 1)}, algorithm2_processes(inputs)
+        )
+        return explorer.check_safety(DacDecisionTask(n + 1), inputs) is None
+
+    ledger.verify(
+        pac,
+        f"{n + 1}-DAC",
+        pac_solves_dac,
+        "Theorem 4.1, model-checked over all schedules",
+    )
+
+    # Theorem 4.2/4.3: the base family does NOT reach the (n+1)-PAC /
+    # (n+1)-DAC — candidate suite refuted.
+    refuted = 0
+    for candidate in [
+        dac_via_consensus(n, fallback="own"),
+        dac_via_consensus(n, fallback="spin"),
+        dac_via_sa_arbiter(n),
+    ]:
+        explorer = Explorer(candidate.objects, candidate.processes)
+        broken = explorer.check_safety(candidate.task, candidate.inputs)
+        if broken is None:
+            broken = explorer.find_livelock()
+        if broken is not None:
+            refuted += 1
+    ledger.refute(base_family, f"{n + 1}-DAC", refuted, "Theorem 4.2")
+    ledger.refute(base_family, pac, refuted, "Theorem 4.3")
+    ledger.refute(on_prime, on, refuted, "Theorem 6.5 (via Lemma 6.4 + Thm 4.3)")
+    return ledger
+
+
+@dataclass(frozen=True)
+class SeparationReport:
+    """Corollary 6.6's shape, derived from a ledger."""
+
+    n: int
+    same_power: bool
+    on_implements_witness_task: bool
+    on_prime_refuted: bool
+    conflicts: Tuple[str, ...]
+
+    @property
+    def reproduces_corollary_6_6(self) -> bool:
+        return (
+            self.same_power
+            and self.on_implements_witness_task
+            and self.on_prime_refuted
+            and not self.conflicts
+        )
+
+
+def separation_report(n: int = 2) -> SeparationReport:
+    """Derive the Corollary 6.6 statement for level ``n``."""
+    from .power import on_power, on_prime_power
+
+    ledger = paper_ledger(n)
+    same_power = on_power(n).agrees_with(on_prime_power(n), 8)
+    on_side = ledger.implements(f"O_{n}", f"{n + 1}-DAC")
+    refuted = ledger.refuted(f"O'_{n}", f"O_{n}") is not None
+    return SeparationReport(
+        n=n,
+        same_power=same_power,
+        on_implements_witness_task=on_side,
+        on_prime_refuted=refuted,
+        conflicts=tuple(ledger.check_consistency()),
+    )

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch the whole family with a single ``except`` clause while still
+being able to distinguish specification errors (bad operations sent to an
+object) from runtime errors (scheduling a crashed process) and analysis
+errors (asking for the valency of an unreachable configuration).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class SpecificationError(ReproError):
+    """An object was constructed with invalid parameters.
+
+    Example: an ``n``-PAC object with ``n < 1``, or an ``(n, k)``-SA
+    object with ``k < 1``.
+    """
+
+
+class InvalidOperationError(ReproError):
+    """An operation was applied that the target object does not support.
+
+    This covers unknown operation names as well as out-of-range
+    arguments, e.g. a ``PROPOSE(v, i)`` on an ``n``-PAC object with a
+    label ``i`` outside ``[1..n]``.
+    """
+
+
+class ProtocolError(ReproError):
+    """A process automaton violated the runtime's step discipline.
+
+    Raised, for example, when a process is asked for its next action
+    after it has already decided, or when a generator-based process
+    yields something that is not an action.
+    """
+
+
+class SchedulingError(ReproError):
+    """The scheduler made an illegal choice.
+
+    Raised when a scheduler selects a process that has crashed, decided,
+    or does not exist, or when no process is enabled but a step was
+    requested anyway.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis (valency, linearizability, exploration) was misused.
+
+    Example: requesting the decision set of a configuration that does
+    not belong to the explored system, or exceeding an explicit
+    exploration budget configured with ``strict=True``.
+    """
+
+
+class ExplorationBudgetExceeded(AnalysisError):
+    """A bounded exploration ran out of its state or depth budget.
+
+    The explorer raises this only in strict mode; by default it records
+    that the result is a *bound* rather than an exact answer.
+    """
+
+
+class NotLinearizableError(AnalysisError):
+    """A history expected to be linearizable was proven not to be.
+
+    Raised by the ``require_linearizable`` convenience wrapper; the
+    underlying checker itself returns a verdict object instead of
+    raising.
+    """

@@ -1,0 +1,63 @@
+"""Shared-object substrate: sequential specs, live objects, the catalog.
+
+This package provides the generic machinery
+(:class:`~repro.objects.spec.SequentialSpec`,
+:class:`~repro.objects.base.SharedObject`, response oracles) plus the
+classical object catalog the paper's model quantifies over: registers,
+``m``-consensus objects, and the standard consensus-hierarchy
+inhabitants (test-and-set, fetch-and-add, compare-and-swap, swap, FIFO
+queue, sticky bit).
+
+The paper's own objects — ``n``-PAC, ``n``-DAC, 2-SA, ``(n, m)``-PAC,
+``O_n``, ``O'_n`` — live in :mod:`repro.core`.
+"""
+
+from .adopt_commit import ADOPT, COMMIT, AdoptCommitSpec, AdoptCommitState
+from .base import (
+    FirstOutcomeOracle,
+    MaximizingOracle,
+    MinimizingOracle,
+    ResponseOracle,
+    ScriptedOracle,
+    SeededOracle,
+    SharedObject,
+)
+from .classic import (
+    CompareAndSwapSpec,
+    FetchAndAddSpec,
+    QueueSpec,
+    StickyBitSpec,
+    SwapSpec,
+    TestAndSetSpec,
+)
+from .consensus import ConsensusState, MConsensusSpec
+from .register import RegisterSpec, register_array
+from .snapshot import SnapshotSpec
+from .spec import Outcome, SequentialSpec
+
+__all__ = [
+    "ADOPT",
+    "AdoptCommitSpec",
+    "AdoptCommitState",
+    "COMMIT",
+    "CompareAndSwapSpec",
+    "ConsensusState",
+    "FetchAndAddSpec",
+    "FirstOutcomeOracle",
+    "MConsensusSpec",
+    "MaximizingOracle",
+    "MinimizingOracle",
+    "Outcome",
+    "QueueSpec",
+    "RegisterSpec",
+    "ResponseOracle",
+    "ScriptedOracle",
+    "SeededOracle",
+    "SequentialSpec",
+    "SharedObject",
+    "SnapshotSpec",
+    "StickyBitSpec",
+    "SwapSpec",
+    "TestAndSetSpec",
+    "register_array",
+]

@@ -1,0 +1,82 @@
+"""The adopt-commit object (atomic specification).
+
+Adopt-commit is the classical safety kernel of round-based consensus:
+each process proposes a value and receives a pair ``(flavor, value)``
+with ``flavor ∈ {"commit", "adopt"}`` such that
+
+* **validity** — the returned value was proposed;
+* **commit-agreement** — if anyone receives ``("commit", v)``, every
+  response carries value ``v``;
+* **convergence** — if all proposals are equal, everyone commits.
+
+This module gives the *atomic* (linearizable, deterministic) object:
+the first proposer fixes the value and commits; later proposers commit
+while they agree with it and no conflict has surfaced, and adopt the
+fixed value once any conflicting proposal has appeared.
+
+The register-based *implementation* of the adopt-commit task — which
+satisfies the same properties without being linearizable to this spec
+(two concurrent conflicting proposers may both adopt) — lives in
+:mod:`repro.protocols.obstruction_free` together with the round-based
+obstruction-free consensus built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence, Tuple
+
+from ..errors import InvalidOperationError
+from ..types import NIL, Operation, Value, is_special
+from .spec import Outcome, SequentialSpec, expect_arity, reject_unknown
+
+#: Response flavors.
+COMMIT = "commit"
+ADOPT = "adopt"
+
+
+@dataclass(frozen=True)
+class AdoptCommitState:
+    """``value`` — the fixed (first-proposed) value; ``conflicted`` —
+    whether any conflicting proposal has been seen."""
+
+    value: Value = NIL
+    conflicted: bool = False
+
+
+class AdoptCommitSpec(SequentialSpec):
+    """Atomic adopt-commit object.
+
+    >>> from repro.types import op
+    >>> spec = AdoptCommitSpec()
+    >>> _state, responses = spec.run(
+    ...     [op("propose", "a"), op("propose", "a"), op("propose", "b")])
+    >>> responses
+    (('commit', 'a'), ('commit', 'a'), ('adopt', 'a'))
+    """
+
+    kind = "adopt-commit"
+    deterministic = True
+
+    def initial_state(self) -> Hashable:
+        return AdoptCommitState()
+
+    def operation_names(self) -> Tuple[str, ...]:
+        return ("propose",)
+
+    def responses(self, state: Hashable, operation: Operation) -> Sequence[Outcome]:
+        if operation.name != "propose":
+            reject_unknown(self, operation)
+        expect_arity(operation, 1, self.kind)
+        value = operation.args[0]
+        if is_special(value):
+            raise InvalidOperationError(
+                f"{self.kind}: special value {value!r} may not be proposed"
+            )
+        assert isinstance(state, AdoptCommitState)
+        if state.value is NIL:
+            return ((AdoptCommitState(value=value), (COMMIT, value)),)
+        if value == state.value and not state.conflicted:
+            return ((state, (COMMIT, state.value)),)
+        next_state = AdoptCommitState(value=state.value, conflicted=True)
+        return ((next_state, (ADOPT, state.value)),)

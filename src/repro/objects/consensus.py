@@ -1,0 +1,88 @@
+"""The ``m``-consensus object.
+
+The paper (footnote 6) uses the precise deterministic linearizable
+specification given by Jayanti [12] and Qadri [13]:
+
+    "for the first *m* propose operations, the *m*-consensus object
+    returns the value of the first propose operation, and it returns a
+    special value ⊥ to any subsequent propose operation."
+
+That "stops being useful after *m* operations" behaviour is load-bearing:
+Claim 4.2.9's adversary deliberately burns the object's *m* useful
+responses so that it can no longer distinguish configurations. The spec
+below implements exactly this object, so the claim's mechanics are
+reproducible in the explorer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence, Tuple
+
+from ..errors import InvalidOperationError, SpecificationError
+from ..types import BOTTOM, NIL, Operation, Value, is_special, require
+from .spec import Outcome, SequentialSpec, expect_arity, reject_unknown
+
+
+@dataclass(frozen=True)
+class ConsensusState:
+    """State of an ``m``-consensus object.
+
+    ``winner`` is the first proposed value (``NIL`` before any propose);
+    ``applied`` counts propose operations performed so far.
+    """
+
+    winner: Value = NIL
+    applied: int = 0
+
+
+class MConsensusSpec(SequentialSpec):
+    """Deterministic ``m``-consensus object (Jayanti/Qadri specification).
+
+    * The first propose fixes the winner and returns it.
+    * Proposes 2..m also return the winner.
+    * Every propose after the ``m``-th returns ⊥.
+
+    The object is at level ``m`` of the consensus hierarchy: it solves
+    consensus among ``m`` processes (each proposes once and decides the
+    response) but not among ``m + 1``.
+
+    >>> from repro.types import op, BOTTOM
+    >>> spec = MConsensusSpec(2)
+    >>> _, responses = spec.run([op("propose", "a"), op("propose", "b"),
+    ...                          op("propose", "c")])
+    >>> responses == ("a", "a", BOTTOM)
+    True
+    """
+
+    kind = "m-consensus"
+    deterministic = True
+
+    def __init__(self, m: int) -> None:
+        require(m >= 1, SpecificationError, f"m-consensus requires m >= 1, got {m}")
+        self.m = m
+        self.kind = f"{m}-consensus"
+
+    def initial_state(self) -> Hashable:
+        return ConsensusState()
+
+    def operation_names(self) -> Tuple[str, ...]:
+        return ("propose",)
+
+    def responses(self, state: Hashable, operation: Operation) -> Sequence[Outcome]:
+        if operation.name != "propose":
+            reject_unknown(self, operation)
+        expect_arity(operation, 1, self.kind)
+        value = operation.args[0]
+        if is_special(value):
+            raise InvalidOperationError(
+                f"{self.kind}: special value {value!r} may not be proposed"
+            )
+        assert isinstance(state, ConsensusState)
+        if state.applied >= self.m:
+            # The object is exhausted: it answers ⊥ forever, and its
+            # state no longer changes (Claim 4.2.9 relies on this).
+            return ((state, BOTTOM),)
+        winner = state.winner if state.applied > 0 else value
+        next_state = ConsensusState(winner=winner, applied=state.applied + 1)
+        return ((next_state, winner),)

@@ -1,0 +1,67 @@
+"""Atomic read/write registers.
+
+Registers are the free substrate of the whole theory: every
+implementation question in the paper is "can X plus *registers*
+implement Y". The spec here is the standard multi-reader multi-writer
+atomic register: ``read()`` returns the current value, ``write(v)``
+replaces it and returns :data:`~repro.types.DONE`.
+
+Registers are deterministic and have consensus number 1 (Herlihy), a
+fact exercised by the hierarchy-tour experiment (E13).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Tuple
+
+from ..types import DONE, NIL, Operation, Value
+from .spec import Outcome, SequentialSpec, expect_arity, reject_unknown
+
+
+class RegisterSpec(SequentialSpec):
+    """A multi-reader multi-writer atomic register.
+
+    The state is simply the stored value; the initial value defaults to
+    :data:`~repro.types.NIL`.
+
+    >>> from repro.types import op
+    >>> spec = RegisterSpec(initial=0)
+    >>> state = spec.initial_state()
+    >>> state, response = spec.apply(state, op("write", 7))
+    >>> spec.apply(state, op("read"))[1]
+    7
+    """
+
+    kind = "register"
+    deterministic = True
+
+    def __init__(self, initial: Value = NIL) -> None:
+        self.initial = initial
+
+    def initial_state(self) -> Hashable:
+        return self.initial
+
+    def operation_names(self) -> Tuple[str, ...]:
+        return ("read", "write")
+
+    def responses(self, state: Hashable, operation: Operation) -> Sequence[Outcome]:
+        if operation.name == "read":
+            expect_arity(operation, 0, self.kind)
+            return ((state, state),)
+        if operation.name == "write":
+            expect_arity(operation, 1, self.kind)
+            return ((operation.args[0], DONE),)
+        reject_unknown(self, operation)
+        raise AssertionError("unreachable")
+
+
+def register_array(count: int, prefix: str = "R", initial: Value = NIL):
+    """Build ``count`` independent register specs named ``prefix0..``.
+
+    Returns a dict suitable for :class:`repro.runtime.system.System`'s
+    object table. An "array of registers" in the literature is exactly a
+    collection of independent atomic registers, so we model it that way
+    rather than as one composite object (composite objects would be
+    stronger than the paper's model allows).
+    """
+    return {f"{prefix}{index}": RegisterSpec(initial) for index in range(count)}

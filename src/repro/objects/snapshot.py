@@ -1,0 +1,70 @@
+"""The atomic snapshot object (single-writer, multi-reader).
+
+Snapshots are the canonical "registers can do more than you'd think"
+object: level 1 of the hierarchy, yet they give every process an
+atomic view of all segments. The paper's model grants registers for
+free; snapshots are their closure — we provide both the atomic spec
+(here) and the classical wait-free implementation from plain registers
+(Afek, Attiya, Dolev, Gafni, Merritt, Shavit 1993) in
+:mod:`repro.protocols.snapshot`, validated by the linearizability
+checker (the same machinery that validates the paper's Lemma 6.4
+implementation).
+
+Operations:
+
+* ``update(i, v)`` — write ``v`` into segment ``i`` (the implementation
+  restricts segment ``i`` to process ``i``: single-writer);
+* ``scan()`` — atomically read all segments.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Tuple
+
+from ..errors import InvalidOperationError, SpecificationError
+from ..types import DONE, NIL, Operation, Value, require
+from .spec import Outcome, SequentialSpec, expect_arity, reject_unknown
+
+
+class SnapshotSpec(SequentialSpec):
+    """Atomic snapshot over ``n`` segments.
+
+    >>> from repro.types import op, NIL
+    >>> spec = SnapshotSpec(2)
+    >>> _state, responses = spec.run([op("update", 0, "a"), op("scan")])
+    >>> responses[1]
+    ('a', NIL)
+    """
+
+    kind = "snapshot"
+    deterministic = True
+
+    def __init__(self, n: int, initial: Value = NIL) -> None:
+        require(n >= 1, SpecificationError, f"snapshot needs n >= 1, got {n}")
+        self.n = n
+        self.initial = initial
+        self.kind = f"{n}-snapshot"
+
+    def initial_state(self) -> Hashable:
+        return (self.initial,) * self.n
+
+    def operation_names(self) -> Tuple[str, ...]:
+        return ("update", "scan")
+
+    def responses(self, state: Hashable, operation: Operation) -> Sequence[Outcome]:
+        assert isinstance(state, tuple)
+        if operation.name == "update":
+            expect_arity(operation, 2, self.kind)
+            index, value = operation.args
+            if not isinstance(index, int) or not 0 <= index < self.n:
+                raise InvalidOperationError(
+                    f"{self.kind}: segment index {index!r} out of range "
+                    f"[0..{self.n - 1}]"
+                )
+            next_state = state[:index] + (value,) + state[index + 1 :]
+            return ((next_state, DONE),)
+        if operation.name == "scan":
+            expect_arity(operation, 0, self.kind)
+            return ((state, state),)
+        reject_unknown(self, operation)
+        raise AssertionError("unreachable")

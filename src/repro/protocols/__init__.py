@@ -1,0 +1,133 @@
+"""Protocols: algorithms over shared objects.
+
+* :mod:`repro.protocols.tasks` — decision-task definitions;
+* :mod:`repro.protocols.dac_from_pac` — Algorithm 2 (Theorem 4.1);
+* :mod:`repro.protocols.consensus` — consensus protocols per catalog
+  object (hierarchy tour);
+* :mod:`repro.protocols.set_agreement` — k-set agreement protocols
+  backing every power lower bound;
+* :mod:`repro.protocols.candidates` — doomed candidates for the
+  impossibility experiments;
+* :mod:`repro.protocols.implementation` — the implementation framework
+  and client harness;
+* :mod:`repro.protocols.embodiment` — Observation 5.1 and Lemma 6.4
+  implementations;
+* :mod:`repro.protocols.universal` — Herlihy's universal construction.
+"""
+
+from .candidates import (
+    CandidateSystem,
+    ScanningRacerProcess,
+    consensus_via_queue,
+    consensus_via_test_and_set,
+    all_candidates,
+    consensus_via_exhausted_consensus,
+    consensus_via_pac_retry,
+    consensus_via_strong_sa,
+    dac_via_consensus,
+    dac_via_sa_arbiter,
+)
+from .consensus import (
+    CasConsensusProcess,
+    CombinedPacConsensusProcess,
+    OneShotConsensusProcess,
+    QueueConsensusProcess,
+    StickyBitConsensusProcess,
+    TestAndSetConsensusProcess,
+    one_shot_consensus_processes,
+    queue_consensus_objects,
+)
+from .dac_from_pac import Algorithm2Process, algorithm2_processes
+from .embodiment import (
+    bundle_from_consensus_and_sa,
+    combined_pac_from_parts,
+    consensus_from_combined,
+    on_prime_from_consensus_and_sa,
+    pac_from_combined,
+)
+from .obstruction_free import (
+    ObstructionFreeConsensusProcess,
+    adopt_commit_round_objects,
+    obstruction_free_processes,
+)
+from .snapshot import AfekSnapshotImplementation
+from .implementation import (
+    ClientRunResult,
+    Implementation,
+    RedirectImplementation,
+    check_implementation,
+    run_clients,
+)
+from .set_agreement import (
+    BundleProcess,
+    collection_partition,
+    GroupConsensusProcess,
+    NkSaProcess,
+    StrongSaProcess,
+    bundle_processes,
+    group_partition_objects,
+    group_partition_processes,
+    strong_sa_processes,
+    trivial_processes,
+)
+from .tasks import (
+    ConsensusTask,
+    DacDecisionTask,
+    DecisionTask,
+    KSetAgreementTask,
+    SafetyVerdict,
+)
+from .universal import UniversalConstruction
+
+__all__ = [
+    "AfekSnapshotImplementation",
+    "Algorithm2Process",
+    "BundleProcess",
+    "CandidateSystem",
+    "CasConsensusProcess",
+    "ClientRunResult",
+    "CombinedPacConsensusProcess",
+    "ConsensusTask",
+    "DacDecisionTask",
+    "DecisionTask",
+    "GroupConsensusProcess",
+    "Implementation",
+    "KSetAgreementTask",
+    "NkSaProcess",
+    "ObstructionFreeConsensusProcess",
+    "OneShotConsensusProcess",
+    "QueueConsensusProcess",
+    "RedirectImplementation",
+    "SafetyVerdict",
+    "ScanningRacerProcess",
+    "StickyBitConsensusProcess",
+    "StrongSaProcess",
+    "TestAndSetConsensusProcess",
+    "UniversalConstruction",
+    "adopt_commit_round_objects",
+    "algorithm2_processes",
+    "all_candidates",
+    "bundle_from_consensus_and_sa",
+    "bundle_processes",
+    "check_implementation",
+    "collection_partition",
+    "combined_pac_from_parts",
+    "consensus_from_combined",
+    "consensus_via_exhausted_consensus",
+    "consensus_via_pac_retry",
+    "consensus_via_queue",
+    "consensus_via_strong_sa",
+    "consensus_via_test_and_set",
+    "dac_via_consensus",
+    "dac_via_sa_arbiter",
+    "group_partition_objects",
+    "obstruction_free_processes",
+    "group_partition_processes",
+    "on_prime_from_consensus_and_sa",
+    "one_shot_consensus_processes",
+    "pac_from_combined",
+    "queue_consensus_objects",
+    "run_clients",
+    "strong_sa_processes",
+    "trivial_processes",
+]

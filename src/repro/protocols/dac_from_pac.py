@@ -1,0 +1,106 @@
+"""Algorithm 2: solving the ``n``-DAC problem with a single ``n``-PAC.
+
+The processes are numbered ``0 .. n-1`` and use PAC labels
+``pid + 1 ∈ [1..n]``. The distinguished process performs one
+propose/decide pair and aborts on ⊥ (lines 1–5); every other process
+retries its propose/decide pair until the decide returns a non-⊥ value
+(lines 6–11).
+
+Theorem 4.1 says this solves ``n``-DAC; experiment E3 verifies it by
+exhaustive bounded exploration (all schedules × all binary inputs for
+small ``n``) and by randomized adversarial simulation for larger ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+from ..errors import SpecificationError
+from ..types import BOTTOM, ProcessId, Value, op, require
+from ..runtime.events import Abort, Action, Decide, Invoke
+from ..runtime.process import ProcessAutomaton
+
+#: Local-state tags for the Algorithm 2 automaton.
+_TO_PROPOSE = "to_propose"
+_TO_DECIDE = "to_decide"
+_DECIDED = "decided"
+_ABORTED = "aborted"
+
+
+class Algorithm2Process(ProcessAutomaton):
+    """One process of Algorithm 2.
+
+    ``pid`` — the process id (port ``pid + 1`` on the PAC);
+    ``value`` — the process's binary input;
+    ``distinguished`` — True for the paper's ``p`` (abort on ⊥);
+    ``pac`` — the name of the shared ``n``-PAC object.
+
+    Local states: ``("to_propose",)`` → ``("to_decide",)`` →
+    ``("decided", v)`` or ``("aborted",)`` or back to propose.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        value: Value,
+        distinguished: bool,
+        pac: str = "PAC",
+    ) -> None:
+        super().__init__(pid)
+        self.value = value
+        self.distinguished = distinguished
+        self.pac = pac
+        self.label = pid + 1
+
+    def initial_state(self) -> Hashable:
+        return (_TO_PROPOSE,)
+
+    def next_action(self, state: Hashable) -> Action:
+        tag = state[0]
+        if tag == _TO_PROPOSE:
+            return Invoke(self.pac, op("propose", self.value, self.label))
+        if tag == _TO_DECIDE:
+            return Invoke(self.pac, op("decide", self.label))
+        if tag == _DECIDED:
+            return Decide(state[1])
+        assert tag == _ABORTED
+        return Abort()
+
+    def transition(self, state: Hashable, response: Value) -> Hashable:
+        tag = state[0]
+        if tag == _TO_PROPOSE:
+            return (_TO_DECIDE,)
+        assert tag == _TO_DECIDE
+        if response is not BOTTOM:
+            return (_DECIDED, response)
+        if self.distinguished:
+            return (_ABORTED,)
+        return (_TO_PROPOSE,)
+
+
+def algorithm2_processes(
+    inputs: Tuple[Value, ...],
+    distinguished: ProcessId = 0,
+    pac: str = "PAC",
+) -> List[Algorithm2Process]:
+    """Instantiate all ``n`` Algorithm 2 processes for ``inputs``.
+
+    ``inputs[i]`` is process ``i``'s binary input; ``distinguished``
+    selects the paper's ``p``.
+    """
+    n = len(inputs)
+    require(n >= 2, SpecificationError, f"n-DAC needs n >= 2 processes, got {n}")
+    require(
+        0 <= distinguished < n,
+        SpecificationError,
+        f"distinguished pid {distinguished} out of range",
+    )
+    return [
+        Algorithm2Process(
+            pid=pid,
+            value=inputs[pid],
+            distinguished=(pid == distinguished),
+            pac=pac,
+        )
+        for pid in range(n)
+    ]

@@ -1,0 +1,145 @@
+"""Implementations for Observation 5.1 and Lemma 6.4.
+
+Observation 5.1 (Section 5):
+
+  (a) an ``(n, m)``-PAC can be implemented from an ``n``-PAC plus an
+      ``m``-consensus object — :func:`combined_pac_from_parts`;
+  (b) an ``(n, m)``-PAC implements an ``n``-PAC —
+      :func:`pac_from_combined`;
+  (c) an ``(n, m)``-PAC implements an ``m``-consensus object —
+      :func:`consensus_from_combined`.
+
+Lemma 6.4 (Section 6): ``O'_n`` can be implemented from ``n``-consensus
+objects and 2-SA objects — :func:`on_prime_from_consensus_and_sa`. The
+level-1 member ``(n_1, 1)``-SA is served by an ``n``-consensus object
+(``n_1 = n`` by Theorem 5.3); every level-``k`` member with ``k >= 2``
+is served by its *own* strong 2-SA object (a 2-SA answers any number of
+processes with at most two of the first proposals — a fortiori a valid
+``(n_k, k)``-set-agreement behaviour).
+
+All four are operation redirects
+(:class:`~repro.protocols.implementation.RedirectImplementation`);
+experiments E8 and E9 validate them with the linearizability checker
+under adversarial schedules — the paper asserts these as immediate, we
+check them anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import InvalidOperationError, SpecificationError
+from ..objects.consensus import MConsensusSpec
+from ..objects.spec import SequentialSpec
+from ..core.combined import CombinedPacSpec
+from ..core.pac import NPacSpec
+from ..core.separation import SetAgreementBundleSpec, make_on_prime
+from ..core.set_agreement import StrongSetAgreementSpec
+from ..types import Operation, op, require
+from .implementation import RedirectImplementation
+
+
+def combined_pac_from_parts(n: int, m: int) -> RedirectImplementation:
+    """Observation 5.1(a): ``(n, m)``-PAC from ``n``-PAC + ``m``-consensus."""
+
+    def route(operation: Operation) -> Tuple[str, Operation]:
+        if operation.name == "proposeC":
+            return "C", op("propose", *operation.args)
+        if operation.name == "proposeP":
+            return "P", op("propose", *operation.args)
+        if operation.name == "decideP":
+            return "P", op("decide", *operation.args)
+        raise InvalidOperationError(
+            f"(n,m)-PAC does not support {operation.name!r}"
+        )
+
+    return RedirectImplementation(
+        target=CombinedPacSpec(n, m),
+        bases={"P": NPacSpec(n), "C": MConsensusSpec(m)},
+        route=route,
+        label=f"({n},{m})-PAC from {n}-PAC + {m}-consensus",
+    )
+
+
+def pac_from_combined(n: int, m: int) -> RedirectImplementation:
+    """Observation 5.1(b): ``n``-PAC from an ``(n, m)``-PAC."""
+
+    def route(operation: Operation) -> Tuple[str, Operation]:
+        if operation.name == "propose":
+            return "NM", op("proposeP", *operation.args)
+        if operation.name == "decide":
+            return "NM", op("decideP", *operation.args)
+        raise InvalidOperationError(
+            f"n-PAC does not support {operation.name!r}"
+        )
+
+    return RedirectImplementation(
+        target=NPacSpec(n),
+        bases={"NM": CombinedPacSpec(n, m)},
+        route=route,
+        label=f"{n}-PAC from ({n},{m})-PAC",
+    )
+
+
+def consensus_from_combined(n: int, m: int) -> RedirectImplementation:
+    """Observation 5.1(c): ``m``-consensus from an ``(n, m)``-PAC."""
+
+    def route(operation: Operation) -> Tuple[str, Operation]:
+        if operation.name == "propose":
+            return "NM", op("proposeC", *operation.args)
+        raise InvalidOperationError(
+            f"m-consensus does not support {operation.name!r}"
+        )
+
+    return RedirectImplementation(
+        target=MConsensusSpec(m),
+        bases={"NM": CombinedPacSpec(n, m)},
+        route=route,
+        label=f"{m}-consensus from ({n},{m})-PAC",
+    )
+
+
+def bundle_from_consensus_and_sa(
+    bundle: SetAgreementBundleSpec,
+) -> RedirectImplementation:
+    """Implement an SA bundle from consensus + 2-SA objects (Lemma 6.4).
+
+    Level 1 routes to an ``n_1``-consensus object; each level ``k >= 2``
+    routes to its own strong 2-SA object.
+    """
+    levels = bundle.levels
+    n1 = levels[0]
+    require(
+        isinstance(n1, int),
+        SpecificationError,
+        "level 1 of the bundle must have a finite port count (it is a "
+        "consensus number)",
+    )
+    bases: Dict[str, SequentialSpec] = {"CONS1": MConsensusSpec(n1)}
+    for k in range(2, len(levels) + 1):
+        bases[f"SA{k}"] = StrongSetAgreementSpec(2)
+
+    def route(operation: Operation) -> Tuple[str, Operation]:
+        if operation.name != "propose" or len(operation.args) != 2:
+            raise InvalidOperationError(
+                f"SA bundle supports only propose(v, k), got {operation}"
+            )
+        value, level = operation.args
+        if level == 1:
+            return "CONS1", op("propose", value)
+        return f"SA{level}", op("propose", value)
+
+    return RedirectImplementation(
+        target=bundle,
+        bases=bases,
+        route=route,
+        label=f"Lemma 6.4: {bundle.kind} from {n1}-consensus + 2-SA",
+    )
+
+
+def on_prime_from_consensus_and_sa(
+    n: int, levels: int = 4
+) -> RedirectImplementation:
+    """Lemma 6.4 for the paper's own object: ``O'_n`` from
+    ``n``-consensus + 2-SA objects."""
+    return bundle_from_consensus_and_sa(make_on_prime(n, levels))

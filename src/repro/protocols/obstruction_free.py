@@ -1,0 +1,174 @@
+"""Obstruction-free consensus from registers (round-based adopt-commit).
+
+Registers alone cannot solve wait-free consensus (FLP/Herlihy, level 1
+of the hierarchy) — but they *can* solve **obstruction-free** consensus:
+every process that eventually runs alone decides. This is exactly the
+liveness class of the n-DAC problem's Termination (b) ("if any process
+q ≠ p takes infinitely many steps *solo*, then q eventually decides"),
+so it belongs in this reproduction as the register-level showcase of
+the solo-run analysis machinery.
+
+The protocol is the classical round structure. Round ``r`` has ``2n``
+single-writer registers ``AC{r}A{i}`` / ``AC{r}B{i}``. A process with
+estimate ``v`` executes, in round ``r``:
+
+1. write ``v`` to ``A[self]``; read all ``A`` slots;
+2. write ``(True, v)`` to ``B[self]`` if every non-NIL ``A`` slot
+   equals ``v``, else ``(False, v)``; read all ``B`` slots;
+3. let ``T`` = values carried by ``(True, ·)`` entries seen:
+   * if no ``(False, ·)`` was seen and ``T = {w}`` — **decide** ``w``;
+   * elif ``T`` nonempty — adopt ``min(T)`` as the new estimate
+     (the classical argument shows ``|T| ≤ 1``, so the ``min`` is
+     moot — we assert the claim in the tests rather than rely on it);
+   * else keep the current estimate;
+   then enter round ``r + 1``.
+
+Safety (agreement + validity) holds for *every* schedule — the
+experiments model-check it exhaustively for small instances. Liveness
+is obstruction-freedom only: a solo window of one full round decides,
+while a contention adversary can push the processes through round
+after round forever (we exhibit the escalation rather than a cycle —
+the round counter grows, so the configuration graph of the *unbounded*
+protocol is infinite; the bounded instance halts undecided at its round
+cap, and the tests find schedules that reach the cap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from ..errors import SpecificationError
+from ..objects.register import RegisterSpec
+from ..objects.spec import SequentialSpec
+from ..runtime.events import Action, Decide, Halt, Invoke
+from ..runtime.process import ProcessAutomaton
+from ..types import NIL, ProcessId, Value, op, require
+
+
+def adopt_commit_round_objects(
+    num_processes: int, rounds: int, prefix: str = "AC"
+) -> Dict[str, SequentialSpec]:
+    """The register table for ``rounds`` rounds of the protocol."""
+    objects: Dict[str, SequentialSpec] = {}
+    for round_index in range(rounds):
+        for pid in range(num_processes):
+            objects[f"{prefix}{round_index}A{pid}"] = RegisterSpec(NIL)
+            objects[f"{prefix}{round_index}B{pid}"] = RegisterSpec(NIL)
+    return objects
+
+
+class ObstructionFreeConsensusProcess(ProcessAutomaton):
+    """One participant of the round-based protocol.
+
+    Local state (all-hashable tuples):
+
+    ``("writeA", round, estimate)`` →
+    ``("readA", round, estimate, index, all_match)`` →
+    ``("writeB", round, estimate, flag)`` →
+    ``("readB", round, estimate, index, trues, saw_false)`` →
+    decide / next round / ``("exhausted",)`` at the round cap.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        value: Value,
+        num_processes: int,
+        max_rounds: int,
+        prefix: str = "AC",
+    ) -> None:
+        super().__init__(pid)
+        require(max_rounds >= 1, SpecificationError, "need at least one round")
+        self.value = value
+        self.num_processes = num_processes
+        self.max_rounds = max_rounds
+        self.prefix = prefix
+
+    # -- helpers -------------------------------------------------------------
+
+    def _a(self, round_index: int, pid: ProcessId) -> str:
+        return f"{self.prefix}{round_index}A{pid}"
+
+    def _b(self, round_index: int, pid: ProcessId) -> str:
+        return f"{self.prefix}{round_index}B{pid}"
+
+    # -- automaton -----------------------------------------------------------
+
+    def initial_state(self) -> Hashable:
+        return ("writeA", 0, self.value)
+
+    def next_action(self, state: Hashable) -> Action:
+        tag = state[0]
+        if tag == "writeA":
+            _tag, round_index, estimate = state
+            return Invoke(self._a(round_index, self.pid), op("write", estimate))
+        if tag == "readA":
+            _tag, round_index, _estimate, index, _all_match = state
+            return Invoke(self._a(round_index, index), op("read"))
+        if tag == "writeB":
+            _tag, round_index, estimate, flag = state
+            return Invoke(
+                self._b(round_index, self.pid),
+                op("write", (flag, estimate)),
+            )
+        if tag == "readB":
+            _tag, round_index, _estimate, index, _trues, _saw_false = state
+            return Invoke(self._b(round_index, index), op("read"))
+        if tag == "decided":
+            return Decide(state[1])
+        assert tag == "exhausted"
+        return Halt()
+
+    def transition(self, state: Hashable, response: Value) -> Hashable:
+        tag = state[0]
+        if tag == "writeA":
+            _tag, round_index, estimate = state
+            return ("readA", round_index, estimate, 0, True)
+        if tag == "readA":
+            _tag, round_index, estimate, index, all_match = state
+            if response is not NIL and response != estimate:
+                all_match = False
+            if index + 1 < self.num_processes:
+                return ("readA", round_index, estimate, index + 1, all_match)
+            return ("writeB", round_index, estimate, all_match)
+        if tag == "writeB":
+            _tag, round_index, estimate, _flag = state
+            return ("readB", round_index, estimate, 0, (), False)
+        assert tag == "readB"
+        _tag, round_index, estimate, index, trues, saw_false = state
+        if response is not NIL:
+            flag, value = response
+            if flag:
+                if value not in trues:
+                    trues = tuple(sorted(trues + (value,), key=repr))
+            else:
+                saw_false = True
+        if index + 1 < self.num_processes:
+            return ("readB", round_index, estimate, index + 1, trues, saw_false)
+        # End of round: decide, adopt, or escalate.
+        if not saw_false and len(trues) == 1:
+            return ("decided", trues[0])
+        if trues:
+            estimate = min(trues, key=repr)
+        if round_index + 1 >= self.max_rounds:
+            return ("exhausted",)
+        return ("writeA", round_index + 1, estimate)
+
+
+def obstruction_free_processes(
+    inputs: Tuple[Value, ...],
+    max_rounds: int = 3,
+    prefix: str = "AC",
+) -> List[ObstructionFreeConsensusProcess]:
+    """Instantiate the protocol for one input assignment."""
+    n = len(inputs)
+    return [
+        ObstructionFreeConsensusProcess(
+            pid=pid,
+            value=inputs[pid],
+            num_processes=n,
+            max_rounds=max_rounds,
+            prefix=prefix,
+        )
+        for pid in range(n)
+    ]

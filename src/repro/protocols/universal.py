@@ -1,0 +1,136 @@
+"""Herlihy's universal construction — the paper's background theorem.
+
+Section 1 recalls Herlihy's result: instances of any object with
+consensus number ``n``, plus registers, wait-free implement *every*
+object shared by up to ``n`` processes [10]. This module implements the
+construction with the log/helping scheme:
+
+* each process announces its pending operation in its own **announce
+  register** ``ANN{pid}``;
+* the object's history is a growing **log** of operations, one
+  ``n``-consensus object ``CONS{slot}`` per log slot deciding which
+  announced operation fills that slot;
+* before proposing at slot ``s``, a process reads the announce register
+  of the *preferred* process ``s mod n`` and proposes that process's
+  pending operation if it is not yet logged — the classical helping
+  rule that makes the construction wait-free (your operation is in the
+  log at latest by your next preferred slot, so within ``O(n)`` slots);
+* a process computes its operation's response by replaying the target
+  spec over the log prefix up to its own entry. All processes replay
+  the same log, so responses are consistent — this requires a
+  *deterministic* target spec, which the constructor enforces.
+
+Experiment E12 builds queues, registers, PAC objects and more out of
+consensus + registers and linearizability-checks the results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..errors import SpecificationError
+from ..objects.consensus import MConsensusSpec
+from ..objects.register import RegisterSpec
+from ..objects.spec import SequentialSpec
+from ..runtime.events import Invoke
+from ..types import BOTTOM, NIL, Operation, ProcessId, Value, op, require
+from .implementation import Implementation, OperationProgram
+
+
+class UniversalConstruction(Implementation):
+    """Wait-free universal implementation of ``target`` for ``n`` processes.
+
+    ``max_operations`` bounds the total number of high-level operations
+    across all processes (it sizes the consensus-object array; the
+    construction itself is unbounded, the simulation needs a finite
+    object table). One consensus object is provisioned per potential
+    log slot plus helping slack.
+    """
+
+    def __init__(
+        self,
+        target: SequentialSpec,
+        n: int,
+        max_operations: int = 64,
+        helping: bool = True,
+    ) -> None:
+        require(n >= 1, SpecificationError, f"n must be >= 1, got {n}")
+        require(
+            target.is_deterministic,
+            SpecificationError,
+            f"the universal construction replays the log locally, which "
+            f"requires a deterministic target spec; {target.kind} is "
+            f"nondeterministic",
+        )
+        self.target = target
+        self.n = n
+        # Helping guarantees an operation lands within n slots of its
+        # announcement, so this is a safe slot budget.
+        self.max_slots = max_operations + n + 1
+        self.max_operations = max_operations
+        # ``helping=False`` disables the announce-read/adopt rule — the
+        # ablation knob: without helping the construction stays
+        # linearizable but loses wait-freedom (an adversary can defer
+        # one process's operation for as long as the others have work).
+        self.helping = helping
+
+    def target_spec(self) -> SequentialSpec:
+        return self.target
+
+    def base_objects(self) -> Dict[str, SequentialSpec]:
+        objects: Dict[str, SequentialSpec] = {}
+        for pid in range(self.n):
+            objects[f"ANN{pid}"] = RegisterSpec(NIL)
+        for slot in range(self.max_slots):
+            objects[f"CONS{slot}"] = MConsensusSpec(self.n)
+        return objects
+
+    def operation_program(
+        self, pid: ProcessId, operation: Operation, memory: Dict[str, Any]
+    ) -> OperationProgram:
+        sequence = memory.get("sequence", 0)
+        memory["sequence"] = sequence + 1
+        my_entry: Tuple = (pid, sequence, operation)
+        log = memory.setdefault("log", [])
+        logged = memory.setdefault("logged", set())
+
+        yield Invoke(f"ANN{pid}", op("write", my_entry))
+
+        while my_entry not in logged:
+            slot = len(log)
+            if slot >= self.max_slots:
+                raise SpecificationError(
+                    f"universal construction ran out of its {self.max_slots} "
+                    f"slots; raise max_operations"
+                )
+            proposal = my_entry
+            if self.helping:
+                preferred = slot % self.n
+                candidate = yield Invoke(f"ANN{preferred}", op("read"))
+                if (
+                    candidate is not NIL
+                    and candidate not in logged
+                    and candidate != my_entry
+                ):
+                    proposal = candidate
+            winner = yield Invoke(f"CONS{slot}", op("propose", proposal))
+            if winner is BOTTOM:
+                raise SpecificationError(
+                    f"slot {slot} consensus object exhausted — more than "
+                    f"{self.n} processes proposed at one slot"
+                )
+            log.append(winner)
+            logged.add(winner)
+
+        # Replay the log deterministically up to our own entry.
+        state = self.target.initial_state()
+        response: Value = None
+        for entry in log:
+            state, entry_response = self.target.apply(state, entry[2])
+            if entry == my_entry:
+                response = entry_response
+                break
+        return response
+
+    def name(self) -> str:
+        return f"universal[{self.target.kind} @ {self.n} procs]"

@@ -1,0 +1,54 @@
+"""Asynchronous shared-memory runtime: the paper's model, executable.
+
+Processes (:mod:`repro.runtime.process`) take atomic steps on shared
+objects under an adversarial scheduler
+(:mod:`repro.runtime.scheduler`); :class:`~repro.runtime.system.System`
+is the step loop; :mod:`repro.runtime.history` records what happened.
+"""
+
+from .events import Abort, Action, Decide, Halt, Invoke, Step
+from .history import (
+    CompletedOp,
+    ConcurrentHistory,
+    Inv,
+    Res,
+    RunHistory,
+)
+from .process import FunctionalAutomaton, GeneratorProcess, ProcessAutomaton
+from .scheduler import (
+    AlternatingScheduler,
+    BlockingScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    SeededScheduler,
+    SoloScheduler,
+    Scheduler,
+)
+from .system import ObjectTable, ProcessStatus, System
+
+__all__ = [
+    "Abort",
+    "Action",
+    "AlternatingScheduler",
+    "BlockingScheduler",
+    "CompletedOp",
+    "ConcurrentHistory",
+    "Decide",
+    "FunctionalAutomaton",
+    "GeneratorProcess",
+    "Halt",
+    "Inv",
+    "Invoke",
+    "ObjectTable",
+    "ProcessAutomaton",
+    "ProcessStatus",
+    "Res",
+    "RoundRobinScheduler",
+    "RunHistory",
+    "Scheduler",
+    "ScriptedScheduler",
+    "SeededScheduler",
+    "SoloScheduler",
+    "Step",
+    "System",
+]

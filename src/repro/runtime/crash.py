@@ -1,0 +1,101 @@
+"""Crash-failure injection.
+
+In the paper's model a crashed process simply stops taking steps —
+there is no failure notification. The simulator supports this two ways:
+
+* :meth:`repro.runtime.system.System.crash` — imperative, for tests;
+* :class:`CrashPlan` — declarative: crash pid ``p`` after global step
+  ``t`` (or after ``p``'s own k-th step), applied automatically by
+  :func:`run_with_crashes`.
+
+Algorithm 2's guarantees under crashes are exactly the n-DAC contract:
+a crash of the distinguished process obliges nobody; a crash of others
+leaves solo runs of the survivors deciding (Termination (b)) — tested
+in ``tests/runtime/test_crash.py`` and the E3 integration suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SpecificationError
+from ..types import ProcessId, require
+from .history import RunHistory
+from .scheduler import Scheduler
+from .system import ProcessStatus, System
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash ``pid`` once the trigger fires.
+
+    ``after_global_steps`` — crash when the run's step counter reaches
+    this value; ``after_own_steps`` — crash once the process has taken
+    this many of its own steps (checked before its next step). Exactly
+    one trigger must be set.
+    """
+
+    pid: ProcessId
+    after_global_steps: Optional[int] = None
+    after_own_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require(
+            (self.after_global_steps is None) != (self.after_own_steps is None),
+            SpecificationError,
+            "set exactly one of after_global_steps / after_own_steps",
+        )
+
+
+@dataclass
+class CrashPlan:
+    """A set of crash events applied during a run."""
+
+    events: List[CrashEvent] = field(default_factory=list)
+
+    def crash_after_global(self, pid: ProcessId, steps: int) -> "CrashPlan":
+        self.events.append(CrashEvent(pid, after_global_steps=steps))
+        return self
+
+    def crash_after_own(self, pid: ProcessId, steps: int) -> "CrashPlan":
+        self.events.append(CrashEvent(pid, after_own_steps=steps))
+        return self
+
+    def due(self, system: System) -> List[ProcessId]:
+        """Which crashes fire in the current system state?"""
+        fired: List[ProcessId] = []
+        global_steps = len(system.history.steps)
+        own = system.history.steps_by_pid
+        for event in self.events:
+            if system.status_of(event.pid) != ProcessStatus.RUNNING:
+                continue
+            if (
+                event.after_global_steps is not None
+                and global_steps >= event.after_global_steps
+            ):
+                fired.append(event.pid)
+            elif (
+                event.after_own_steps is not None
+                and own.get(event.pid, 0) >= event.after_own_steps
+            ):
+                fired.append(event.pid)
+        return fired
+
+
+def run_with_crashes(
+    system: System,
+    plan: CrashPlan,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 10_000,
+) -> RunHistory:
+    """Drive ``system`` applying ``plan``'s crashes as they come due."""
+
+    def apply_crashes(current: System) -> bool:
+        for pid in plan.due(current):
+            current.crash(pid)
+        return False  # never stop the run itself
+
+    return system.run(
+        scheduler=scheduler, max_steps=max_steps, stop_when=apply_crashes
+    )

@@ -1,0 +1,35 @@
+"""Workload generators: adversary suites, operation histories, client workloads."""
+
+from .generators import (
+    bundle_workloads,
+    counter_workloads,
+    pac_workloads,
+    queue_workloads,
+    register_workloads,
+    snapshot_workloads,
+)
+from .interference import InterferenceScheduler
+from .histories import (
+    all_pac_histories,
+    legal_pac_history,
+    pac_operation_space,
+    random_pac_history,
+)
+from .schedules import adversary_suite, exhaustive_schedules, random_schedulers
+
+__all__ = [
+    "InterferenceScheduler",
+    "adversary_suite",
+    "bundle_workloads",
+    "counter_workloads",
+    "pac_workloads",
+    "queue_workloads",
+    "register_workloads",
+    "snapshot_workloads",
+    "all_pac_histories",
+    "exhaustive_schedules",
+    "legal_pac_history",
+    "pac_operation_space",
+    "random_pac_history",
+    "random_schedulers",
+]

@@ -1,0 +1,72 @@
+"""Schedule and adversary generators for experiments and benchmarks.
+
+Experiments sweep protocols over *many* adversaries; this module mass-
+produces them:
+
+* :func:`random_schedulers` — a family of seeded random schedulers;
+* :func:`adversary_suite` — the standard mixed bag (round-robin, solos,
+  alternations, crash-blocking, seeded randoms) sized to a process
+  count;
+* :func:`exhaustive_schedules` — every schedule of a given length over
+  a pid set (for brute-force sweeps smaller than full model checking).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Sequence, Tuple
+
+from ..runtime.scheduler import (
+    AlternatingScheduler,
+    BlockingScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SeededScheduler,
+    SoloScheduler,
+)
+from ..types import ProcessId
+
+
+def random_schedulers(count: int, base_seed: int = 0) -> List[Scheduler]:
+    """``count`` independently seeded random schedulers."""
+    return [SeededScheduler(seed=base_seed + index) for index in range(count)]
+
+
+def adversary_suite(
+    num_processes: int,
+    random_count: int = 10,
+    base_seed: int = 0,
+    include_solos: bool = True,
+) -> List[Tuple[str, Scheduler]]:
+    """The standard named adversary family for ``num_processes``.
+
+    Includes fair round-robin, seeded randoms, all pairwise
+    alternations, per-process solo runs (optional; only valid for
+    protocols whose solo runs terminate), and single-victim blocking
+    (crash) schedulers.
+    """
+    suite: List[Tuple[str, Scheduler]] = [("round-robin", RoundRobinScheduler())]
+    for index, scheduler in enumerate(random_schedulers(random_count, base_seed)):
+        suite.append((f"random[{base_seed + index}]", scheduler))
+    for first in range(num_processes):
+        for second in range(first + 1, num_processes):
+            suite.append(
+                (f"alternate[{first},{second}]", AlternatingScheduler(first, second))
+            )
+    if include_solos:
+        for pid in range(num_processes):
+            suite.append((f"solo[{pid}]", SoloScheduler(pid)))
+    for victim in range(num_processes):
+        suite.append((f"crash[{victim}]", BlockingScheduler([victim])))
+    return suite
+
+
+def exhaustive_schedules(
+    pids: Sequence[ProcessId], length: int
+) -> Iterator[Tuple[ProcessId, ...]]:
+    """Every pid sequence of exactly ``length`` — brute-force sweeps.
+
+    Note the count is ``len(pids) ** length``; keep it small. For full
+    coverage of branching object responses use the explorer instead.
+    """
+    yield from itertools.product(tuple(pids), repeat=length)

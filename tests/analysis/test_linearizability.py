@@ -1,0 +1,215 @@
+"""Tests for the Wing–Gong linearizability checker."""
+
+import pytest
+
+from repro.analysis.linearizability import (
+    LinearizabilityChecker,
+    check_linearizable,
+)
+from repro.errors import NotLinearizableError
+from repro.objects.classic import QueueSpec
+from repro.objects.consensus import MConsensusSpec
+from repro.objects.register import RegisterSpec
+from repro.core.set_agreement import StrongSetAgreementSpec
+from repro.runtime.history import ConcurrentHistory
+from repro.types import DONE, NIL, op
+
+
+def sequential(spec, *pairs):
+    """Build a non-overlapping history of (pid, op, response) triples."""
+    history = ConcurrentHistory()
+    for pid, operation, response in pairs:
+        op_id = history.invoke(pid, operation)
+        history.respond(op_id, response)
+    return history
+
+
+class TestSequentialHistories:
+    def test_correct_register_history(self):
+        history = sequential(
+            None,
+            (0, op("write", 1), DONE),
+            (1, op("read"), 1),
+        )
+        assert check_linearizable(history, RegisterSpec()).ok
+
+    def test_wrong_read_value_rejected(self):
+        history = sequential(
+            None,
+            (0, op("write", 1), DONE),
+            (1, op("read"), 2),
+        )
+        verdict = check_linearizable(history, RegisterSpec())
+        assert not verdict.ok
+        assert "register" in verdict.explanation
+
+    def test_empty_history_is_linearizable(self):
+        assert check_linearizable(ConcurrentHistory(), RegisterSpec()).ok
+
+    def test_sequential_order_is_forced(self):
+        """Non-overlapping ops must linearize in real-time order: a read
+        of the initial value after a completed write is NOT
+        linearizable."""
+        history = sequential(
+            None,
+            (0, op("write", 5), DONE),
+            (1, op("read"), NIL),
+        )
+        assert not check_linearizable(history, RegisterSpec()).ok
+
+
+class TestConcurrentHistories:
+    def test_overlapping_ops_may_reorder(self):
+        """A read overlapping a write may see either old or new value."""
+        for observed in (NIL, 5):
+            history = ConcurrentHistory()
+            write_id = history.invoke(0, op("write", 5))
+            read_id = history.invoke(1, op("read"))
+            history.respond(read_id, observed)
+            history.respond(write_id, DONE)
+            verdict = check_linearizable(history, RegisterSpec())
+            assert verdict.ok, observed
+
+    def test_linearization_respects_precedence(self):
+        spec = QueueSpec()
+        history = ConcurrentHistory()
+        enq_a = history.invoke(0, op("enqueue", "a"))
+        history.respond(enq_a, DONE)
+        enq_b = history.invoke(0, op("enqueue", "b"))
+        deq = history.invoke(1, op("dequeue"))
+        history.respond(enq_b, DONE)
+        history.respond(deq, "a")
+        assert check_linearizable(history, spec).ok
+
+    def test_fifo_violation_detected(self):
+        spec = QueueSpec()
+        history = sequential(
+            None,
+            (0, op("enqueue", "a"), DONE),
+            (0, op("enqueue", "b"), DONE),
+            (1, op("dequeue"), "b"),
+        )
+        assert not check_linearizable(history, spec).ok
+
+    def test_witness_linearization_is_returned(self):
+        history = ConcurrentHistory()
+        write_id = history.invoke(0, op("write", 5))
+        read_id = history.invoke(1, op("read"))
+        history.respond(read_id, 5)
+        history.respond(write_id, DONE)
+        verdict = check_linearizable(history, RegisterSpec())
+        assert verdict.ok
+        # Witness must place the write before the read.
+        assert verdict.linearization.index(write_id) < verdict.linearization.index(
+            read_id
+        )
+
+
+class TestPendingOperations:
+    def test_pending_op_may_take_effect(self):
+        """A pending write whose value was read must be linearized."""
+        history = ConcurrentHistory()
+        history.invoke(0, op("write", 7))  # never responds (crash)
+        read_id = history.invoke(1, op("read"))
+        history.respond(read_id, 7)
+        assert check_linearizable(history, RegisterSpec()).ok
+
+    def test_pending_op_may_be_dropped(self):
+        history = ConcurrentHistory()
+        history.invoke(0, op("write", 7))  # never responds
+        read_id = history.invoke(1, op("read"))
+        history.respond(read_id, NIL)
+        assert check_linearizable(history, RegisterSpec()).ok
+
+    def test_completed_ops_cannot_be_dropped(self):
+        history = sequential(
+            None,
+            (0, op("write", 7), DONE),
+            (1, op("read"), NIL),
+        )
+        assert not check_linearizable(history, RegisterSpec()).ok
+
+
+class TestNondeterministicSpecs:
+    def test_sa_responses_must_come_from_state(self):
+        spec = StrongSetAgreementSpec(2)
+        good = sequential(
+            None,
+            (0, op("propose", "a"), "a"),
+            (1, op("propose", "b"), "a"),
+            (2, op("propose", "c"), "b"),
+        )
+        assert check_linearizable(good, spec).ok
+
+    def test_sa_cannot_invent_values(self):
+        spec = StrongSetAgreementSpec(2)
+        bad = sequential(
+            None,
+            (0, op("propose", "a"), "a"),
+            (1, op("propose", "b"), "z"),
+        )
+        assert not check_linearizable(bad, spec).ok
+
+    def test_sa_first_response_fixed(self):
+        spec = StrongSetAgreementSpec(2)
+        bad = sequential(None, (0, op("propose", "a"), "b"))
+        assert not check_linearizable(bad, spec).ok
+
+    def test_concurrent_sa_proposals_resolve_by_order(self):
+        """Two overlapping proposes: whichever linearizes first must
+        receive its own value (STATE is a singleton at that point), so
+        ("b", "b") is achievable but the crosswise ("b", "a") is not."""
+        spec = StrongSetAgreementSpec(2)
+
+        def history_with(resp_a, resp_b):
+            history = ConcurrentHistory()
+            a_id = history.invoke(0, op("propose", "a"))
+            b_id = history.invoke(1, op("propose", "b"))
+            history.respond(a_id, resp_a)
+            history.respond(b_id, resp_b)
+            return history
+
+        assert check_linearizable(history_with("b", "b"), spec).ok
+        assert check_linearizable(history_with("a", "a"), spec).ok
+        assert not check_linearizable(history_with("b", "a"), spec).ok
+
+
+class TestConsensusSpecHistories:
+    def test_consensus_winner_consistency(self):
+        spec = MConsensusSpec(3)
+        good = sequential(
+            None,
+            (0, op("propose", "x"), "x"),
+            (1, op("propose", "y"), "x"),
+        )
+        assert check_linearizable(good, spec).ok
+
+    def test_concurrent_consensus_any_winner(self):
+        spec = MConsensusSpec(2)
+        history = ConcurrentHistory()
+        x_id = history.invoke(0, op("propose", "x"))
+        y_id = history.invoke(1, op("propose", "y"))
+        history.respond(x_id, "y")
+        history.respond(y_id, "y")
+        assert check_linearizable(history, spec).ok
+
+    def test_split_brain_rejected(self):
+        spec = MConsensusSpec(2)
+        history = ConcurrentHistory()
+        x_id = history.invoke(0, op("propose", "x"))
+        y_id = history.invoke(1, op("propose", "y"))
+        history.respond(x_id, "x")
+        history.respond(y_id, "y")
+        assert not check_linearizable(history, spec).ok
+
+
+class TestRequire:
+    def test_require_returns_witness(self):
+        history = sequential(None, (0, op("write", 1), DONE))
+        witness = LinearizabilityChecker(RegisterSpec()).require(history)
+        assert witness == (0,)
+
+    def test_require_raises_on_failure(self):
+        history = sequential(None, (0, op("read"), 42))
+        with pytest.raises(NotLinearizableError):
+            LinearizabilityChecker(RegisterSpec()).require(history)

@@ -1,0 +1,110 @@
+"""Tests for the one-call verification suite."""
+
+import pytest
+
+from repro.analysis.suite import verify_task_protocol
+from repro.errors import SpecificationError
+from repro.objects.consensus import MConsensusSpec
+from repro.protocols.candidates import (
+    consensus_via_exhausted_consensus,
+    consensus_via_pac_retry,
+)
+from repro.protocols.consensus import one_shot_consensus_processes
+from repro.protocols.tasks import ConsensusTask
+
+
+def one_shot_factory(inputs):
+    return (
+        {"CONS": MConsensusSpec(len(inputs))},
+        one_shot_consensus_processes(list(inputs)),
+    )
+
+
+class TestHappyPath:
+    def test_one_shot_consensus_passes_all_phases(self):
+        verdict = verify_task_protocol(
+            ConsensusTask(2),
+            one_shot_factory,
+            simulation_inputs=(0, 1),
+            simulation_seeds=5,
+        )
+        assert verdict.ok, verdict.failed_phases()
+        phases = {phase.phase for phase in verdict.phases}
+        assert phases == {
+            "exhaustive-safety",
+            "no-livelock",
+            "solo-termination",
+            "randomized-adversaries",
+        }
+
+    def test_phases_are_optional(self):
+        verdict = verify_task_protocol(
+            ConsensusTask(2),
+            one_shot_factory,
+            require_wait_free=False,
+            require_solo_termination=False,
+        )
+        assert [phase.phase for phase in verdict.phases] == [
+            "exhaustive-safety"
+        ]
+        assert verdict.ok
+
+
+class TestFailureDetection:
+    def test_safety_failure_reported(self):
+        candidate = consensus_via_exhausted_consensus(2)
+
+        def factory(inputs):
+            # The candidate embeds its own inputs; rebuild per inputs.
+            from repro.protocols.candidates import (
+                ConsensusViaExhaustedConsensus,
+            )
+
+            return (
+                {"CONS": MConsensusSpec(2)},
+                [
+                    ConsensusViaExhaustedConsensus(pid, value)
+                    for pid, value in enumerate(inputs)
+                ],
+            )
+
+        verdict = verify_task_protocol(
+            ConsensusTask(3), factory, require_wait_free=False,
+            require_solo_termination=False,
+        )
+        assert not verdict.ok
+        failed = verdict.failed_phases()
+        assert failed[0].phase == "exhaustive-safety"
+        assert "violations at" in failed[0].detail
+
+    def test_livelock_failure_reported(self):
+        candidate = consensus_via_pac_retry(3, 2)
+
+        def factory(inputs):
+            from repro.core.combined import CombinedPacSpec
+            from repro.protocols.candidates import PacRetryConsensusProcess
+
+            return (
+                {"NMPAC": CombinedPacSpec(3, 2)},
+                [
+                    PacRetryConsensusProcess(pid, value)
+                    for pid, value in enumerate(inputs)
+                ],
+            )
+
+        verdict = verify_task_protocol(
+            ConsensusTask(3),
+            factory,
+            exhaustive_inputs=[(0, 1, 0)],
+            require_solo_termination=False,
+        )
+        assert not verdict.ok
+        assert any(
+            phase.phase == "no-livelock" for phase in verdict.failed_phases()
+        )
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(SpecificationError):
+            verify_task_protocol(
+                ConsensusTask(2), one_shot_factory, exhaustive_inputs=[]
+            )

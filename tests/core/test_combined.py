@@ -1,0 +1,126 @@
+"""Tests for the (n, m)-PAC object — paper Section 5."""
+
+import pytest
+
+from repro.core.combined import CombinedPacSpec, CombinedPacState
+from repro.core.pac import NPacSpec, PacState
+from repro.errors import InvalidOperationError, SpecificationError
+from repro.objects.consensus import MConsensusSpec
+from repro.types import BOTTOM, DONE, op
+
+
+class TestConstruction:
+    def test_requires_positive_parameters(self):
+        with pytest.raises(SpecificationError):
+            CombinedPacSpec(0, 1)
+        with pytest.raises(SpecificationError):
+            CombinedPacSpec(1, 0)
+
+    def test_kind(self):
+        assert CombinedPacSpec(3, 2).kind == "(3,2)-PAC"
+
+    def test_deterministic(self):
+        """Note after Observation 5.1: (n, m)-PAC objects are
+        deterministic."""
+        assert CombinedPacSpec(3, 2).is_deterministic
+
+    def test_initial_state_is_product(self):
+        state = CombinedPacSpec(2, 2).initial_state()
+        assert isinstance(state, CombinedPacState)
+        assert state.pac == NPacSpec(2).initial_state()
+        assert state.consensus == MConsensusSpec(2).initial_state()
+
+
+class TestRedirection:
+    def test_proposec_redirects_to_consensus(self):
+        spec = CombinedPacSpec(3, 2)
+        _state, responses = spec.run(
+            [op("proposeC", "a"), op("proposeC", "b"), op("proposeC", "c")]
+        )
+        assert responses == ("a", "a", BOTTOM)
+
+    def test_pac_face_behaves_like_pac(self):
+        spec = CombinedPacSpec(3, 2)
+        _state, responses = spec.run(
+            [op("proposeP", 7, 2), op("decideP", 2)]
+        )
+        assert responses == (DONE, 7)
+
+    def test_faces_are_independent(self):
+        """Consensus operations never disturb the PAC half: the decideP
+        still succeeds despite interleaved proposeC operations."""
+        spec = CombinedPacSpec(2, 2)
+        _state, responses = spec.run(
+            [
+                op("proposeP", "p", 1),
+                op("proposeC", "c"),
+                op("decideP", 1),
+            ]
+        )
+        assert responses == (DONE, "c", "p")
+
+    def test_pac_face_detects_interleaving_on_itself(self):
+        spec = CombinedPacSpec(2, 2)
+        _state, responses = spec.run(
+            [
+                op("proposeP", "p", 1),
+                op("proposeP", "q", 2),
+                op("decideP", 1),
+            ]
+        )
+        assert responses[2] is BOTTOM
+
+    def test_pac_face_upsets_independently(self):
+        spec = CombinedPacSpec(2, 2)
+        state, responses = spec.run([op("decideP", 1), op("proposeC", "x")])
+        assert responses == (BOTTOM, "x")
+        assert isinstance(state.pac, PacState)
+        assert state.pac.upset
+
+    def test_rejects_unknown_operation(self):
+        spec = CombinedPacSpec(2, 2)
+        with pytest.raises(InvalidOperationError):
+            spec.responses(spec.initial_state(), op("propose", 1))
+
+    def test_arity_checks(self):
+        spec = CombinedPacSpec(2, 2)
+        with pytest.raises(InvalidOperationError):
+            spec.responses(spec.initial_state(), op("proposeC", 1, 2))
+        with pytest.raises(InvalidOperationError):
+            spec.responses(spec.initial_state(), op("decideP"))
+
+
+class TestEquivalenceWithParts:
+    def test_matches_independent_parts_on_random_mixes(self):
+        """The combined object must behave exactly like an n-PAC and an
+        m-consensus object sitting side by side."""
+        import random
+
+        rng = random.Random(7)
+        spec = CombinedPacSpec(3, 2)
+        pac = NPacSpec(3)
+        cons = MConsensusSpec(2)
+        state = spec.initial_state()
+        pac_state = pac.initial_state()
+        cons_state = cons.initial_state()
+        for _ in range(200):
+            roll = rng.random()
+            if roll < 0.3:
+                operation = op("proposeC", rng.randint(0, 5))
+                cons_state, expected = cons.apply(
+                    cons_state, op("propose", *operation.args)
+                )
+            elif roll < 0.65:
+                operation = op("proposeP", rng.randint(0, 5), rng.randint(1, 3))
+                pac_state, expected = pac.apply(
+                    pac_state, op("propose", *operation.args)
+                )
+            else:
+                operation = op("decideP", rng.randint(1, 3))
+                pac_state, expected = pac.apply(
+                    pac_state, op("decide", *operation.args)
+                )
+            state, response = spec.apply(state, operation)
+            assert response == expected or response is expected
+        assert state.pac == pac_state
+        assert state.consensus == cons_state

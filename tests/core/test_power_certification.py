@@ -1,0 +1,87 @@
+"""Tests: every claimed power lower bound survives its own protocol."""
+
+import pytest
+
+from repro.core.power import (
+    combined_pac_power,
+    m_consensus_power,
+    on_power,
+    register_power,
+    strong_sa_power,
+)
+from repro.core.power_certification import (
+    Certification,
+    certify_bundle_level,
+    certify_combined_pac,
+    certify_m_consensus,
+    certify_power_prefix,
+    certify_registers,
+    certify_strong_sa,
+)
+from repro.core.separation import make_on_prime
+from repro.errors import SpecificationError
+
+
+class TestIndividualCertifiers:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_registers(self, k):
+        certification = certify_registers(k)
+        assert certification.certified
+        assert certification.process_count == register_power()[k].value
+
+    @pytest.mark.parametrize("m,k", [(1, 2), (2, 1), (2, 2), (3, 1)])
+    def test_m_consensus(self, m, k):
+        certification = certify_m_consensus(m, k)
+        assert certification.certified
+        assert certification.process_count == m_consensus_power(m)[k].lower
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_strong_sa(self, k):
+        certification = certify_strong_sa(2, k, sample_count=4)
+        assert certification.certified
+        assert "sampled" in certification.method
+
+    def test_strong_sa_requires_k_at_least_c(self):
+        with pytest.raises(SpecificationError):
+            certify_strong_sa(2, 1)
+
+    @pytest.mark.parametrize("n,m,k", [(3, 2, 1), (3, 2, 2)])
+    def test_combined_pac(self, n, m, k):
+        certification = certify_combined_pac(n, m, k)
+        assert certification.certified
+        assert certification.process_count == combined_pac_power(n, m)[k].lower
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_bundle_levels(self, k):
+        bundle = make_on_prime(2, levels=3)
+        certification = certify_bundle_level(bundle.levels, k)
+        assert certification.certified
+        assert certification.process_count == on_power(2)[k].lower
+
+
+class TestPrefixCertification:
+    def test_register_prefix(self):
+        results = certify_power_prefix(
+            register_power(), 3, certify_registers
+        )
+        assert [r.k for r in results] == [1, 2, 3]
+        assert all(r.certified for r in results)
+
+    def test_consensus_prefix(self):
+        results = certify_power_prefix(
+            m_consensus_power(2), 2, lambda k: certify_m_consensus(2, k)
+        )
+        assert all(r.certified for r in results)
+
+    def test_on_prefix_via_combined(self):
+        results = certify_power_prefix(
+            on_power(2), 2, lambda k: certify_combined_pac(3, 2, k)
+        )
+        assert all(r.certified for r in results)
+
+    def test_failed_certification_raises(self):
+        def bogus(k):
+            return Certification(k, 1, "nope", certified=False)
+
+        with pytest.raises(SpecificationError, match="failed its"):
+            certify_power_prefix(register_power(), 1, bogus)

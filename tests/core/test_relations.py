@@ -1,0 +1,106 @@
+"""Tests for the implementability ledger and separation report."""
+
+import pytest
+
+from repro.core.relations import Edge, Ledger, paper_ledger, separation_report
+from repro.errors import AnalysisError, SpecificationError
+
+
+class TestLedgerBasics:
+    def test_verify_requires_passing_check(self):
+        ledger = Ledger()
+        with pytest.raises(AnalysisError, match="verification failed"):
+            ledger.verify("A", "B", lambda: False, "broken")
+        assert not ledger.implements("A", "B")
+
+    def test_verify_records_edge(self):
+        ledger = Ledger()
+        edge = ledger.verify("A", "B", lambda: True, "trivial")
+        assert edge.positive
+        assert ledger.implements("A", "B")
+
+    def test_implements_is_reflexive(self):
+        assert Ledger().implements("A", "A")
+
+    def test_implements_is_transitive(self):
+        ledger = Ledger()
+        ledger.verify("A", "B", lambda: True, "ab")
+        ledger.verify("B", "C", lambda: True, "bc")
+        assert ledger.implements("A", "C")
+        assert not ledger.implements("C", "A")
+
+    def test_equivalent_needs_both_directions(self):
+        ledger = Ledger()
+        ledger.verify("A", "B", lambda: True, "ab")
+        assert not ledger.equivalent("A", "B")
+        ledger.verify("B", "A", lambda: True, "ba")
+        assert ledger.equivalent("A", "B")
+
+    def test_refute_requires_candidates(self):
+        ledger = Ledger()
+        with pytest.raises(SpecificationError):
+            ledger.refute("A", "B", 0, "Thm")
+
+    def test_refuted_lookup(self):
+        ledger = Ledger()
+        ledger.refute("A", "B", 3, "Theorem 4.2")
+        edge = ledger.refuted("A", "B")
+        assert edge is not None and not edge.positive
+        assert "Theorem 4.2" in edge.evidence
+        assert ledger.refuted("B", "A") is None
+
+    def test_consistency_detects_conflicts(self):
+        ledger = Ledger()
+        ledger.verify("A", "B", lambda: True, "ab")
+        ledger.refute("A", "B", 1, "contradiction")
+        assert ledger.check_consistency()
+
+    def test_consistency_respects_closure(self):
+        ledger = Ledger()
+        ledger.verify("A", "B", lambda: True, "ab")
+        ledger.verify("B", "C", lambda: True, "bc")
+        ledger.refute("A", "C", 1, "contradiction via closure")
+        assert ledger.check_consistency()
+
+    def test_nodes_and_edges(self):
+        ledger = Ledger()
+        ledger.verify("A", "B", lambda: True, "ab")
+        ledger.refute("C", "D", 1, "cd")
+        assert ledger.nodes() == frozenset({"A", "B", "C", "D"})
+        assert len(ledger.edges()) == 2
+
+
+class TestPaperLedger:
+    def test_level_2_assembles_and_is_consistent(self):
+        ledger = paper_ledger(2, seeds=2)
+        assert ledger.check_consistency() == []
+        # The constructive spine:
+        assert ledger.implements("O_2", "3-PAC")
+        assert ledger.implements("O_2", "3-DAC")  # via 3-PAC (transitive)
+        assert ledger.implements("2-consensus + 2-SA + registers", "O'_2")
+        # The separation edge:
+        assert ledger.refuted("O'_2", "O_2") is not None
+
+    def test_base_family_refuted_against_dac(self):
+        ledger = paper_ledger(2, seeds=2)
+        edge = ledger.refuted("2-consensus + 2-SA + registers", "3-DAC")
+        assert edge is not None
+        assert "Theorem 4.2" in edge.evidence
+
+    def test_levels_start_at_2(self):
+        with pytest.raises(SpecificationError):
+            paper_ledger(1)
+
+
+class TestSeparationReport:
+    def test_corollary_6_6_reproduced_at_level_2(self):
+        report = separation_report(2)
+        assert report.same_power
+        assert report.on_implements_witness_task
+        assert report.on_prime_refuted
+        assert report.conflicts == ()
+        assert report.reproduces_corollary_6_6
+
+    def test_level_3(self):
+        report = separation_report(3)
+        assert report.reproduces_corollary_6_6

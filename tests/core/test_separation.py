@@ -1,0 +1,125 @@
+"""Tests for the separation pair O_n / O'_n — paper Section 6."""
+
+import pytest
+
+from repro.core.combined import CombinedPacSpec
+from repro.core.separation import (
+    SeparationPair,
+    SetAgreementBundleSpec,
+    make_on,
+    make_on_prime,
+    separation_pair,
+)
+from repro.core.set_agreement import UNBOUNDED
+from repro.errors import InvalidOperationError, SpecificationError
+from repro.types import BOTTOM, DONE, op
+
+
+class TestMakeOn:
+    def test_on_is_n_plus_1_n_pac(self):
+        on = make_on(3)
+        assert isinstance(on, CombinedPacSpec)
+        assert on.n == 4
+        assert on.m == 3
+
+    def test_on_requires_n_at_least_2(self):
+        with pytest.raises(SpecificationError):
+            make_on(1)
+
+    def test_on_kind_is_named(self):
+        assert make_on(2).kind == "O_2"
+
+    def test_on_is_deterministic(self):
+        """Corollary 6.7 emphasizes O_n is deterministic."""
+        assert make_on(2).is_deterministic
+
+    def test_on_operations_work(self):
+        on = make_on(2)
+        _state, responses = on.run(
+            [op("proposeC", "x"), op("proposeP", "y", 3), op("decideP", 3)]
+        )
+        assert responses == ("x", DONE, "y")
+
+
+class TestBundle:
+    def test_bundle_requires_levels(self):
+        with pytest.raises(SpecificationError):
+            SetAgreementBundleSpec(())
+
+    def test_level_routing(self):
+        bundle = SetAgreementBundleSpec((2, UNBOUNDED))
+        state = bundle.initial_state()
+        state, first = bundle.apply(state, op("propose", "a", 1))
+        assert first == "a"
+        state, second = bundle.apply(state, op("propose", "b", 2))
+        assert second == "b"
+
+    def test_levels_are_independent(self):
+        bundle = SetAgreementBundleSpec((2, UNBOUNDED))
+        state = bundle.initial_state()
+        state, _resp = bundle.apply(state, op("propose", "a", 1))
+        # Level 2 never saw "a": its first answer must be its own value.
+        outcomes = bundle.responses(state, op("propose", "b", 2))
+        assert {resp for _s, resp in outcomes} == {"b"}
+
+    def test_level_one_is_consensus_like(self):
+        bundle = SetAgreementBundleSpec((3,))
+        state = bundle.initial_state()
+        state, _first = bundle.apply(state, op("propose", "a", 1))
+        outcomes = bundle.responses(state, op("propose", "b", 1))
+        assert {resp for _s, resp in outcomes} == {"a"}
+
+    def test_beyond_prefix_raises(self):
+        bundle = SetAgreementBundleSpec((2, 4))
+        with pytest.raises(InvalidOperationError, match="beyond the"):
+            bundle.responses(bundle.initial_state(), op("propose", "v", 3))
+
+    def test_invalid_level(self):
+        bundle = SetAgreementBundleSpec((2,))
+        with pytest.raises(InvalidOperationError):
+            bundle.responses(bundle.initial_state(), op("propose", "v", 0))
+
+    def test_nondeterministic(self):
+        assert not SetAgreementBundleSpec((2, 4)).is_deterministic
+
+    def test_unknown_operation(self):
+        bundle = SetAgreementBundleSpec((2,))
+        with pytest.raises(InvalidOperationError):
+            bundle.responses(bundle.initial_state(), op("decide", 1))
+
+
+class TestMakeOnPrime:
+    def test_levels_follow_on_power_lower_bounds(self):
+        bundle = make_on_prime(2, levels=4)
+        assert bundle.levels == (2, 4, 6, 8)
+
+    def test_level_one_port_count_is_n(self):
+        """n_1 = n by Theorem 5.3."""
+        for n in (2, 3, 4):
+            assert make_on_prime(n, levels=2).levels[0] == n
+
+    def test_kind_is_named(self):
+        assert make_on_prime(3, levels=2).kind == "O'_3[2 levels]"
+
+    def test_level_exhaustion_matches_port_count(self):
+        """Level 1 of O'_2 serves 2 processes; the third propose may be
+        answered ⊥ (canonical)."""
+        bundle = make_on_prime(2, levels=1)
+        state = bundle.initial_state()
+        for value in ("a", "b"):
+            state, _resp = bundle.apply(state, op("propose", value, 1))
+        outcomes = bundle.responses(state, op("propose", "c", 1))
+        assert outcomes[0][1] is BOTTOM
+
+
+class TestSeparationPair:
+    def test_pair_is_assembled_consistently(self):
+        pair = separation_pair(2, levels=3)
+        assert isinstance(pair, SeparationPair)
+        assert pair.n == 2
+        assert pair.on.kind == "O_2"
+        assert pair.on_prime.levels == pair.power.lower_prefix(3)
+
+    def test_pair_powers_match(self):
+        pair = separation_pair(3)
+        assert pair.power[1].value == 3

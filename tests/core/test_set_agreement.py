@@ -1,0 +1,190 @@
+"""Tests for strong set agreement and (n, k)-SA objects — Sections 4, 6."""
+
+import pytest
+
+from repro.core.set_agreement import (
+    NKSaState,
+    NKSetAgreementSpec,
+    StrongSetAgreementSpec,
+    UNBOUNDED,
+    sa_family_for_power,
+)
+from repro.errors import InvalidOperationError, SpecificationError
+from repro.types import BOTTOM, op
+
+
+class TestStrongSA:
+    def test_requires_positive_c(self):
+        with pytest.raises(SpecificationError):
+            StrongSetAgreementSpec(0)
+
+    def test_first_propose_must_return_itself(self):
+        spec = StrongSetAgreementSpec(2)
+        outcomes = spec.responses(spec.initial_state(), op("propose", "a"))
+        assert [resp for _s, resp in outcomes] == ["a"]
+
+    def test_second_distinct_propose_branches(self):
+        spec = StrongSetAgreementSpec(2)
+        state, _resp = spec.apply(spec.initial_state(), op("propose", "a"))
+        outcomes = spec.responses(state, op("propose", "b"))
+        assert sorted(resp for _s, resp in outcomes) == ["a", "b"]
+
+    def test_state_caps_at_c_values(self):
+        spec = StrongSetAgreementSpec(2)
+        state, _responses = spec.run(
+            [op("propose", "a"), op("propose", "b"), op("propose", "c")]
+        )
+        assert state == ("a", "b")
+
+    def test_third_value_never_returned(self):
+        """The object answers with at most the first two distinct
+        proposals — 'c' is dropped (Algorithm 3)."""
+        spec = StrongSetAgreementSpec(2)
+        state = spec.initial_state()
+        for value in ("a", "b"):
+            state, _resp = spec.apply(state, op("propose", value))
+        outcomes = spec.responses(state, op("propose", "c"))
+        assert sorted(resp for _s, resp in outcomes) == ["a", "b"]
+
+    def test_duplicate_proposal_not_double_counted(self):
+        spec = StrongSetAgreementSpec(2)
+        state, _responses = spec.run(
+            [op("propose", "a"), op("propose", "a"), op("propose", "b")]
+        )
+        assert state == ("a", "b")
+
+    def test_c_equals_one_is_adversarial_consensus(self):
+        spec = StrongSetAgreementSpec(1)
+        _state, responses = spec.run(
+            [op("propose", "x"), op("propose", "y")]
+        )
+        assert responses == ("x", "x")
+
+    def test_larger_c(self):
+        spec = StrongSetAgreementSpec(3)
+        state, _responses = spec.run(
+            [op("propose", v) for v in "abcd"]
+        )
+        assert state == ("a", "b", "c")
+
+    def test_rejects_special_values(self):
+        spec = StrongSetAgreementSpec(2)
+        with pytest.raises(InvalidOperationError):
+            spec.responses(spec.initial_state(), op("propose", BOTTOM))
+
+    def test_rejects_unknown_operation(self):
+        spec = StrongSetAgreementSpec(2)
+        with pytest.raises(InvalidOperationError):
+            spec.responses(spec.initial_state(), op("decide"))
+
+    def test_nondeterministic_flag(self):
+        assert not StrongSetAgreementSpec(2).is_deterministic
+
+    def test_state_only_records_proposals_not_responses(self):
+        """The Subclaim 4.2.6.2 hinge: the 2-SA state does not depend on
+        which response the adversary handed out."""
+        spec = StrongSetAgreementSpec(2)
+        state, _resp = spec.apply(spec.initial_state(), op("propose", "a"))
+        outcomes = spec.responses(state, op("propose", "b"))
+        states = {s for s, _resp in outcomes}
+        assert len(states) == 1
+
+
+class TestNKSetAgreement:
+    def test_requires_valid_k(self):
+        with pytest.raises(SpecificationError):
+            NKSetAgreementSpec(3, 0)
+
+    def test_requires_valid_n(self):
+        with pytest.raises(SpecificationError):
+            NKSetAgreementSpec(0, 1)
+        with pytest.raises(SpecificationError):
+            NKSetAgreementSpec(-1, 2)
+
+    def test_first_propose_commits_a_value(self):
+        spec = NKSetAgreementSpec(3, 1)
+        outcomes = spec.responses(spec.initial_state(), op("propose", "a"))
+        assert [resp for _s, resp in outcomes] == ["a"]
+
+    def test_k1_behaves_like_consensus(self):
+        spec = NKSetAgreementSpec(3, 1)
+        state = spec.initial_state()
+        state, first = spec.apply(state, op("propose", "a"))
+        outcomes = spec.responses(state, op("propose", "b"))
+        assert {resp for _s, resp in outcomes} == {"a"}
+
+    def test_k2_allows_two_outputs(self):
+        spec = NKSetAgreementSpec(4, 2)
+        state, _resp = spec.apply(spec.initial_state(), op("propose", "a"))
+        outcomes = spec.responses(state, op("propose", "b"))
+        assert sorted({resp for _s, resp in outcomes}) == ["a", "b"]
+
+    def test_never_more_than_k_outputs(self):
+        spec = NKSetAgreementSpec(10, 2)
+        state = spec.initial_state()
+        seen = set()
+        for index, value in enumerate("abcdefgh"):
+            outcomes = spec.responses(state, op("propose", value))
+            for _s, resp in outcomes:
+                seen.add(resp)
+            # Always follow the last outcome (maximally commits).
+            state, resp = outcomes[-1]
+        assert isinstance(state, NKSaState)
+        assert len(state.outputs) <= 2
+
+    def test_responses_are_proposed_values(self):
+        spec = NKSetAgreementSpec(5, 2)
+        state = spec.initial_state()
+        proposed = set()
+        for value in ("a", "b", "c"):
+            proposed.add(value)
+            outcomes = spec.responses(state, op("propose", value))
+            for _s, resp in outcomes:
+                assert resp in proposed
+            state = outcomes[0][0]
+
+    def test_exhausted_object_may_answer_bottom(self):
+        spec = NKSetAgreementSpec(1, 1)
+        state, _resp = spec.apply(spec.initial_state(), op("propose", "a"))
+        outcomes = spec.responses(state, op("propose", "b"))
+        responses = [resp for _s, resp in outcomes]
+        assert responses[0] is BOTTOM  # canonical outcome
+        assert "a" in responses  # but normal answers stay allowed
+
+    def test_unbounded_never_exhausts(self):
+        spec = NKSetAgreementSpec(UNBOUNDED, 2)
+        state = spec.initial_state()
+        for index in range(20):
+            outcomes = spec.responses(state, op("propose", index))
+            assert all(resp is not BOTTOM for _s, resp in outcomes)
+            state = outcomes[0][0]
+
+    def test_applied_counter(self):
+        spec = NKSetAgreementSpec(3, 2)
+        state, _responses = spec.run([op("propose", "a"), op("propose", "b")])
+        assert state.applied == 2
+
+    def test_rejects_special_values(self):
+        spec = NKSetAgreementSpec(2, 1)
+        with pytest.raises(InvalidOperationError):
+            spec.responses(spec.initial_state(), op("propose", BOTTOM))
+
+
+class TestSaFamily:
+    def test_family_for_power_prefix(self):
+        family = sa_family_for_power((2, 4, UNBOUNDED))
+        assert len(family) == 3
+        assert family[0].n == 2 and family[0].k == 1
+        assert family[1].n == 4 and family[1].k == 2
+        assert family[2].n == UNBOUNDED and family[2].k == 3
+
+    def test_family_requires_nonempty_prefix(self):
+        with pytest.raises(SpecificationError):
+            sa_family_for_power(())
+
+    def test_unbounded_repr(self):
+        assert repr(UNBOUNDED) == "∞"
+
+    def test_unbounded_equality(self):
+        assert UNBOUNDED == UNBOUNDED
+        assert UNBOUNDED != 5

@@ -1,0 +1,59 @@
+"""Integration: deeper cells of the E10 power grid (k = 3).
+
+The bench sweeps k ∈ {1, 2}; here we push one level deeper for
+n = 2 — both objects solve 3-set agreement among n_3 = 6 processes.
+Distinct-input count is reduced to keep the (6, 3)-SA branching
+tractable (fewer distinct proposals only makes the task easier for the
+*protocol* but keeps the object's adversarial branching honest: every
+committed-output subset is still explored).
+"""
+
+import pytest
+
+from repro.analysis.explorer import Explorer
+from repro.core.separation import make_on, make_on_prime
+from repro.protocols.consensus import CombinedPacConsensusProcess
+from repro.protocols.set_agreement import bundle_processes
+from repro.protocols.tasks import KSetAgreementTask
+
+
+INPUTS = (0, 0, 1, 1, 2, 2)  # 6 processes, 3 distinct values
+
+
+class TestK3Cells:
+    def test_on_prime_level_3(self):
+        explorer = Explorer(
+            {"OPRIME": make_on_prime(2, levels=3)},
+            bundle_processes(INPUTS, level=3),
+        )
+        task = KSetAgreementTask(6, 3, domain=None)
+        assert (
+            explorer.check_safety(task, INPUTS, max_configurations=2_000_000)
+            is None
+        )
+
+    def test_on_group_partition_k3(self):
+        objects = {f"ON{g}": make_on(2) for g in range(3)}
+        processes = [
+            CombinedPacConsensusProcess(pid, value, obj=f"ON{pid // 2}")
+            for pid, value in enumerate(INPUTS)
+        ]
+        explorer = Explorer(objects, processes)
+        task = KSetAgreementTask(6, 3, domain=None)
+        assert (
+            explorer.check_safety(task, INPUTS, max_configurations=2_000_000)
+            is None
+        )
+
+    def test_on_prime_level_3_not_2_set(self):
+        """Sharpness: the level-3 face does NOT solve 2-set agreement
+        with 3 distinct inputs — the adversary commits 3 outputs."""
+        explorer = Explorer(
+            {"OPRIME": make_on_prime(2, levels=3)},
+            bundle_processes(INPUTS, level=3),
+        )
+        task = KSetAgreementTask(6, 2, domain=None)
+        counterexample = explorer.check_safety(
+            task, INPUTS, max_configurations=2_000_000
+        )
+        assert counterexample is not None

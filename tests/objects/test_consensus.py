@@ -1,0 +1,83 @@
+"""Tests for the m-consensus object (Jayanti/Qadri specification)."""
+
+import pytest
+
+from repro.errors import InvalidOperationError, SpecificationError
+from repro.objects.consensus import ConsensusState, MConsensusSpec
+from repro.types import BOTTOM, op
+
+
+class TestConstruction:
+    def test_requires_positive_m(self):
+        with pytest.raises(SpecificationError):
+            MConsensusSpec(0)
+
+    def test_kind_mentions_m(self):
+        assert MConsensusSpec(3).kind == "3-consensus"
+
+    def test_deterministic(self):
+        assert MConsensusSpec(2).is_deterministic
+
+
+class TestBehaviour:
+    def test_first_propose_wins(self):
+        spec = MConsensusSpec(3)
+        _state, responses = spec.run([op("propose", "a")])
+        assert responses == ("a",)
+
+    def test_first_m_proposes_return_winner(self):
+        spec = MConsensusSpec(3)
+        _state, responses = spec.run(
+            [op("propose", "a"), op("propose", "b"), op("propose", "c")]
+        )
+        assert responses == ("a", "a", "a")
+
+    def test_propose_after_m_returns_bottom(self):
+        spec = MConsensusSpec(2)
+        _state, responses = spec.run([op("propose", v) for v in "abcd"])
+        assert responses == ("a", "a", BOTTOM, BOTTOM)
+
+    def test_exhausted_state_is_frozen(self):
+        """Claim 4.2.9 relies on the exhausted object's state never
+        changing again."""
+        spec = MConsensusSpec(1)
+        state, _responses = spec.run([op("propose", "a")])
+        after, response = spec.apply(state, op("propose", "b"))
+        assert response is BOTTOM
+        assert after == state
+
+    def test_winner_is_first_value_not_majority(self):
+        spec = MConsensusSpec(3)
+        _state, responses = spec.run(
+            [op("propose", "z"), op("propose", "a"), op("propose", "a")]
+        )
+        assert responses == ("z", "z", "z")
+
+    def test_m_equals_one(self):
+        spec = MConsensusSpec(1)
+        _state, responses = spec.run([op("propose", "x"), op("propose", "y")])
+        assert responses == ("x", BOTTOM)
+
+    def test_applied_counter_tracks(self):
+        spec = MConsensusSpec(2)
+        state, _ = spec.run([op("propose", 1)])
+        assert isinstance(state, ConsensusState)
+        assert state.applied == 1
+        assert state.winner == 1
+
+
+class TestValidation:
+    def test_rejects_special_values(self):
+        spec = MConsensusSpec(2)
+        with pytest.raises(InvalidOperationError, match="special value"):
+            spec.responses(spec.initial_state(), op("propose", BOTTOM))
+
+    def test_rejects_unknown_operation(self):
+        spec = MConsensusSpec(2)
+        with pytest.raises(InvalidOperationError):
+            spec.responses(spec.initial_state(), op("decide"))
+
+    def test_rejects_wrong_arity(self):
+        spec = MConsensusSpec(2)
+        with pytest.raises(InvalidOperationError):
+            spec.responses(spec.initial_state(), op("propose", 1, 2))

@@ -1,0 +1,78 @@
+"""Tests for atomic registers."""
+
+import pytest
+
+from repro.errors import InvalidOperationError
+from repro.objects.register import RegisterSpec, register_array
+from repro.types import DONE, NIL, op
+
+
+class TestRegisterSpec:
+    def test_initial_defaults_to_nil(self):
+        spec = RegisterSpec()
+        assert spec.initial_state() is NIL
+
+    def test_custom_initial(self):
+        assert RegisterSpec(7).initial_state() == 7
+
+    def test_read_returns_state_without_change(self):
+        spec = RegisterSpec("x")
+        outcomes = spec.responses("x", op("read"))
+        assert outcomes == (("x", "x"),)
+
+    def test_write_replaces_and_returns_done(self):
+        spec = RegisterSpec()
+        outcomes = spec.responses(NIL, op("write", 5))
+        assert len(outcomes) == 1
+        state, response = outcomes[0]
+        assert state == 5
+        assert response is DONE
+
+    def test_write_read_roundtrip(self):
+        spec = RegisterSpec()
+        _state, responses = spec.run([op("write", "v"), op("read")])
+        assert responses == (DONE, "v")
+
+    def test_overwrites_keep_last(self):
+        spec = RegisterSpec()
+        state, _responses = spec.run([op("write", 1), op("write", 2)])
+        assert state == 2
+
+    def test_read_rejects_arguments(self):
+        spec = RegisterSpec()
+        with pytest.raises(InvalidOperationError):
+            spec.responses(NIL, op("read", 1))
+
+    def test_write_requires_one_argument(self):
+        spec = RegisterSpec()
+        with pytest.raises(InvalidOperationError):
+            spec.responses(NIL, op("write"))
+
+    def test_unknown_operation(self):
+        spec = RegisterSpec()
+        with pytest.raises(InvalidOperationError):
+            spec.responses(NIL, op("cas", 1, 2))
+
+    def test_operation_names(self):
+        assert RegisterSpec().operation_names() == ("read", "write")
+
+    def test_deterministic(self):
+        assert RegisterSpec().is_deterministic
+
+
+class TestRegisterArray:
+    def test_names_and_count(self):
+        table = register_array(3)
+        assert sorted(table) == ["R0", "R1", "R2"]
+
+    def test_custom_prefix_and_initial(self):
+        table = register_array(2, prefix="ANN", initial=0)
+        assert sorted(table) == ["ANN0", "ANN1"]
+        assert table["ANN0"].initial_state() == 0
+
+    def test_registers_are_independent_specs(self):
+        table = register_array(2)
+        assert table["R0"] is not table["R1"]
+
+    def test_zero_registers(self):
+        assert register_array(0) == {}

@@ -1,0 +1,76 @@
+"""Tests for the SequentialSpec framework."""
+
+import pytest
+
+from repro.errors import InvalidOperationError
+from repro.objects.register import RegisterSpec
+from repro.objects.spec import expect_arity
+from repro.core.set_agreement import StrongSetAgreementSpec
+from repro.types import DONE, NIL, op
+
+
+class TestApplyAndRun:
+    def test_apply_follows_choice_zero_by_default(self):
+        spec = RegisterSpec(0)
+        state, response = spec.apply(spec.initial_state(), op("read"))
+        assert state == 0
+        assert response == 0
+
+    def test_apply_rejects_out_of_range_choice(self):
+        spec = RegisterSpec(0)
+        with pytest.raises(InvalidOperationError, match="out of range"):
+            spec.apply(spec.initial_state(), op("read"), choice=1)
+
+    def test_run_folds_operations(self):
+        spec = RegisterSpec()
+        state, responses = spec.run(
+            [op("write", 1), op("read"), op("write", 2), op("read")]
+        )
+        assert state == 2
+        assert responses == (DONE, 1, DONE, 2)
+
+    def test_run_with_choices_on_nondeterministic_spec(self):
+        spec = StrongSetAgreementSpec(2)
+        _state, responses = spec.run(
+            [op("propose", "a"), op("propose", "b"), op("propose", "c")],
+            choices=[0, 1, 1],
+        )
+        assert responses == ("a", "b", "b")
+
+    def test_run_defaults_missing_choices_to_zero(self):
+        spec = StrongSetAgreementSpec(2)
+        _state, responses = spec.run(
+            [op("propose", "a"), op("propose", "b")], choices=[0]
+        )
+        assert responses == ("a", "a")
+
+    def test_empty_run(self):
+        spec = RegisterSpec(42)
+        state, responses = spec.run([])
+        assert state == 42
+        assert responses == ()
+
+
+class TestDeterminismFlag:
+    def test_register_is_deterministic(self):
+        assert RegisterSpec().is_deterministic
+
+    def test_strong_sa_is_nondeterministic(self):
+        assert not StrongSetAgreementSpec(2).is_deterministic
+
+
+class TestValidators:
+    def test_expect_arity_accepts_exact(self):
+        expect_arity(op("write", 1), 1, "register")
+
+    def test_expect_arity_rejects_mismatch(self):
+        with pytest.raises(InvalidOperationError, match="expects 1"):
+            expect_arity(op("write"), 1, "register")
+
+    def test_unknown_operation_names_supported_ops(self):
+        spec = RegisterSpec()
+        with pytest.raises(InvalidOperationError, match="read, write"):
+            spec.responses(spec.initial_state(), op("increment"))
+
+    def test_repr_mentions_kind(self):
+        assert "register" in repr(RegisterSpec())

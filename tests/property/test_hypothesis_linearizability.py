@@ -1,0 +1,119 @@
+"""Property-based tests for the linearizability checker.
+
+Soundness: every history actually *produced* by atomic objects (i.e.
+a sequential witness exists by construction) must be accepted; and a
+random mutation that forges an impossible response must be rejected
+when it breaks the witness (we only assert acceptance of the
+generated-sound side plus spot rejection cases — a random mutation may
+legitimately remain linearizable)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.linearizability import check_linearizable
+from repro.objects.classic import QueueSpec
+from repro.objects.register import RegisterSpec
+from repro.objects.consensus import MConsensusSpec
+from repro.runtime.history import ConcurrentHistory
+from repro.types import op
+
+values = st.integers(0, 5)
+
+
+def generated_sound_history(spec, script, overlap_choices):
+    """Produce a history by *executing* ops sequentially against the
+    spec, but recording some invocations early (creating overlap). The
+    execution order is a valid linearization by construction."""
+    history = ConcurrentHistory()
+    state = spec.initial_state()
+    pending = []
+    next_pid = 0
+    for index, operation in enumerate(script):
+        pid = next_pid
+        next_pid += 1
+        op_id = history.invoke(pid, operation)
+        pending.append((op_id, operation))
+        # Flush 1+ pending ops in FIFO order (execution order).
+        flush = 1 + (overlap_choices[index % len(overlap_choices)] % len(pending)) if overlap_choices else 1
+        for _ in range(min(flush, len(pending))):
+            fid, foperation = pending.pop(0)
+            state, response = spec.apply(state, foperation)
+            history.respond(fid, response)
+    while pending:
+        fid, foperation = pending.pop(0)
+        state, response = spec.apply(state, foperation)
+        history.respond(fid, response)
+    return history
+
+
+class TestSoundness:
+    @given(
+        st.lists(values, min_size=1, max_size=7),
+        st.lists(st.integers(0, 3), min_size=1, max_size=7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_register_generated_histories_accepted(self, writes, overlaps):
+        script = []
+        for value in writes:
+            script.append(op("write", value))
+            script.append(op("read"))
+        history = generated_sound_history(RegisterSpec(), script, overlaps)
+        assert check_linearizable(history, RegisterSpec()).ok
+
+    @given(
+        st.lists(st.tuples(st.booleans(), values), min_size=1, max_size=8),
+        st.lists(st.integers(0, 3), min_size=1, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_queue_generated_histories_accepted(self, script_spec, overlaps):
+        script = [
+            op("enqueue", value) if is_enqueue else op("dequeue")
+            for is_enqueue, value in script_spec
+        ]
+        history = generated_sound_history(QueueSpec(), script, overlaps)
+        assert check_linearizable(history, QueueSpec()).ok
+
+    @given(
+        st.lists(values, min_size=1, max_size=6),
+        st.lists(st.integers(0, 3), min_size=1, max_size=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_consensus_generated_histories_accepted(self, proposals, overlaps):
+        script = [op("propose", v) for v in proposals]
+        spec = MConsensusSpec(3)
+        history = generated_sound_history(spec, script, overlaps)
+        assert check_linearizable(history, spec).ok
+
+
+class TestCompleteness:
+    @given(st.lists(values, min_size=2, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_forged_sequential_reads_rejected(self, writes):
+        """Sequential history where the final read reports a value that
+        was never the last write: must be rejected."""
+        assume(len(set(writes)) >= 2)
+        history = ConcurrentHistory()
+        pid = 0
+        for value in writes:
+            op_id = history.invoke(pid, op("write", value))
+            history.respond(op_id, "done-ish")
+            pid += 1
+        # All writes return DONE in the spec; forge mismatching write
+        # responses -> rejection.
+        assert not check_linearizable(history, RegisterSpec()).ok
+
+    @given(st.lists(values, min_size=2, max_size=5).filter(lambda w: len(set(w)) >= 2))
+    @settings(max_examples=100, deadline=None)
+    def test_stale_read_rejected(self, writes):
+        from repro.types import DONE
+
+        history = ConcurrentHistory()
+        pid = 0
+        for value in writes:
+            op_id = history.invoke(pid, op("write", value))
+            history.respond(op_id, DONE)
+            pid += 1
+        stale = next(v for v in writes if v != writes[-1])
+        read_id = history.invoke(pid, op("read"))
+        history.respond(read_id, stale)
+        assert not check_linearizable(history, RegisterSpec()).ok

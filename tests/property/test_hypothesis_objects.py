@@ -1,0 +1,133 @@
+"""Property-based tests for the object catalog's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.classic import QueueSpec, TestAndSetSpec
+from repro.objects.consensus import MConsensusSpec
+from repro.objects.register import RegisterSpec
+from repro.core.set_agreement import (
+    NKSetAgreementSpec,
+    StrongSetAgreementSpec,
+    UNBOUNDED,
+)
+from repro.types import BOTTOM, DONE, NIL, op
+
+values = st.integers(min_value=0, max_value=9)
+
+
+class TestRegisterProperties:
+    @given(st.lists(values, max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_read_returns_last_write(self, writes):
+        spec = RegisterSpec()
+        operations = []
+        for value in writes:
+            operations.append(op("write", value))
+        operations.append(op("read"))
+        _state, responses = spec.run(operations)
+        expected = writes[-1] if writes else NIL
+        assert responses[-1] == expected
+
+
+class TestConsensusProperties:
+    @given(st.integers(1, 5), st.lists(values, min_size=1, max_size=12))
+    @settings(max_examples=200, deadline=None)
+    def test_winner_is_first_and_bottom_after_m(self, m, proposals):
+        spec = MConsensusSpec(m)
+        _state, responses = spec.run([op("propose", v) for v in proposals])
+        for index, response in enumerate(responses):
+            if index < m:
+                assert response == proposals[0]
+            else:
+                assert response is BOTTOM
+
+
+class TestStrongSaProperties:
+    @given(
+        st.integers(1, 3),
+        st.lists(values, min_size=1, max_size=15),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_at_most_c_distinct_responses_all_proposed(self, c, proposals, rng):
+        spec = StrongSetAgreementSpec(c)
+        state = spec.initial_state()
+        responses = []
+        for value in proposals:
+            outcomes = spec.responses(state, op("propose", value))
+            state, response = outcomes[rng.randrange(len(outcomes))]
+            responses.append(response)
+        assert len(set(responses)) <= c
+        assert set(responses) <= set(proposals)
+
+    @given(st.lists(values, min_size=1, max_size=15))
+    @settings(max_examples=100, deadline=None)
+    def test_state_is_first_c_distinct(self, proposals):
+        spec = StrongSetAgreementSpec(2)
+        state, _responses = spec.run([op("propose", v) for v in proposals])
+        distinct = []
+        for value in proposals:
+            if value not in distinct:
+                distinct.append(value)
+        assert state == tuple(distinct[:2])
+
+
+class TestNkSaProperties:
+    @given(
+        st.integers(1, 3),
+        st.lists(values, min_size=1, max_size=10),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_k_agreement_and_validity_within_ports(self, k, proposals, rng):
+        spec = NKSetAgreementSpec(len(proposals), k)
+        state = spec.initial_state()
+        responses = []
+        for value in proposals:
+            outcomes = spec.responses(state, op("propose", value))
+            state, response = outcomes[rng.randrange(len(outcomes))]
+            responses.append(response)
+        non_bottom = [r for r in responses if r is not BOTTOM]
+        assert len(set(non_bottom)) <= k
+        assert set(non_bottom) <= set(proposals)
+
+    @given(st.lists(values, min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_unbounded_never_bottom(self, proposals):
+        spec = NKSetAgreementSpec(UNBOUNDED, 2)
+        state = spec.initial_state()
+        for value in proposals:
+            outcomes = spec.responses(state, op("propose", value))
+            assert all(r is not BOTTOM for _s, r in outcomes)
+            state = outcomes[0][0]
+
+
+class TestQueueProperties:
+    @given(st.lists(st.tuples(st.booleans(), values), max_size=25))
+    @settings(max_examples=200, deadline=None)
+    def test_queue_matches_reference_model(self, script):
+        """The spec agrees with a plain Python list reference model."""
+        spec = QueueSpec()
+        state = spec.initial_state()
+        model = []
+        for is_enqueue, value in script:
+            if is_enqueue:
+                state, response = spec.apply(state, op("enqueue", value))
+                model.append(value)
+                assert response is DONE
+            else:
+                state, response = spec.apply(state, op("dequeue"))
+                expected = model.pop(0) if model else NIL
+                assert response == expected or response is expected
+        assert state == tuple(model)
+
+
+class TestTestAndSetProperties:
+    @given(st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_exactly_one_winner(self, count):
+        spec = TestAndSetSpec()
+        _state, responses = spec.run([op("test_and_set")] * count)
+        assert responses.count(0) == 1
+        assert responses.count(1) == count - 1

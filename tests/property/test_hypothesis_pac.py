@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for the n-PAC object.
+
+These are the randomized halves of experiments E1 and E2: Theorem 3.5
+and Lemma 3.2 over arbitrary operation histories.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pac import (
+    NPacSpec,
+    check_theorem_3_5,
+    is_legal_history,
+    upset_after,
+)
+from repro.types import BOTTOM, DONE, op
+
+
+def pac_histories(max_n=4, max_length=30):
+    """Strategy: (n, history) pairs of arbitrary PAC operations."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_n))
+        length = draw(st.integers(min_value=0, max_value=max_length))
+        history = []
+        for _ in range(length):
+            label = draw(st.integers(min_value=1, max_value=n))
+            if draw(st.booleans()):
+                value = draw(st.integers(min_value=0, max_value=3))
+                history.append(op("propose", value, label))
+            else:
+                history.append(op("decide", label))
+        return n, history
+
+    return build()
+
+
+class TestLemma32:
+    """upset(t) ⟺ history up to t is not legal — on every prefix."""
+
+    @given(pac_histories())
+    @settings(max_examples=300, deadline=None)
+    def test_upset_iff_illegal_on_every_prefix(self, case):
+        n, history = case
+        for cut in range(len(history) + 1):
+            prefix = history[:cut]
+            assert upset_after(prefix, n) == (not is_legal_history(prefix, n))
+
+
+class TestTheorem35:
+    @given(pac_histories())
+    @settings(max_examples=300, deadline=None)
+    def test_agreement_validity_nontriviality(self, case):
+        n, history = case
+        check = check_theorem_3_5(history, n)
+        assert check.ok, check.violations
+
+    @given(pac_histories())
+    @settings(max_examples=200, deadline=None)
+    def test_proposes_always_done_decides_value_or_bottom(self, case):
+        n, history = case
+        spec = NPacSpec(n)
+        _state, responses = spec.run(history)
+        for operation, response in zip(history, responses):
+            if operation.name == "propose":
+                assert response is DONE
+            else:
+                assert response is BOTTOM or not hasattr(response, "_name") or response is not DONE
+
+    @given(pac_histories())
+    @settings(max_examples=200, deadline=None)
+    def test_at_most_one_decided_value(self, case):
+        """Agreement, stated directly on the response stream."""
+        n, history = case
+        spec = NPacSpec(n)
+        _state, responses = spec.run(history)
+        decided = {
+            response
+            for operation, response in zip(history, responses)
+            if operation.name == "decide" and response is not BOTTOM
+        }
+        assert len(decided) <= 1
+
+    @given(pac_histories())
+    @settings(max_examples=200, deadline=None)
+    def test_decided_values_were_proposed(self, case):
+        """Validity, stated directly."""
+        n, history = case
+        spec = NPacSpec(n)
+        _state, responses = spec.run(history)
+        proposed = {
+            operation.args[0]
+            for operation in history
+            if operation.name == "propose"
+        }
+        for operation, response in zip(history, responses):
+            if operation.name == "decide" and response is not BOTTOM:
+                assert response in proposed
+
+
+class TestStateInvariants:
+    @given(pac_histories())
+    @settings(max_examples=200, deadline=None)
+    def test_lemma_3_3_and_3_4(self, case):
+        """Lemmas 3.3 / 3.4: when not upset, V[i] and L track the last
+        operations exactly."""
+        from repro.types import NIL
+
+        n, history = case
+        spec = NPacSpec(n)
+        state = spec.initial_state()
+        last_op_with_label = {label: None for label in range(1, n + 1)}
+        last_op = None
+        for operation in history:
+            state, _response = spec.apply(state, operation)
+            label = (
+                operation.args[1]
+                if operation.name == "propose"
+                else operation.args[0]
+            )
+            last_op_with_label[label] = operation
+            last_op = operation
+            if state.upset:
+                continue
+            # Lemma 3.3
+            for check_label in range(1, n + 1):
+                last = last_op_with_label[check_label]
+                expected = (
+                    last.args[0]
+                    if last is not None and last.name == "propose"
+                    else NIL
+                )
+                assert state.proposals[check_label - 1] == expected or (
+                    state.proposals[check_label - 1] is NIL and expected is NIL
+                )
+            # Lemma 3.4
+            if last_op.name == "propose":
+                assert state.last_label == last_op.args[1]
+            else:
+                assert state.last_label is NIL
+
+    @given(pac_histories())
+    @settings(max_examples=200, deadline=None)
+    def test_upset_is_monotone(self, case):
+        """Observation 3.1 under hypothesis."""
+        n, history = case
+        spec = NPacSpec(n)
+        state = spec.initial_state()
+        was_upset = False
+        for operation in history:
+            state, _response = spec.apply(state, operation)
+            if was_upset:
+                assert state.upset
+            was_upset = state.upset

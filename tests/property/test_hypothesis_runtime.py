@@ -1,0 +1,83 @@
+"""Property-based tests for runtime-level invariants.
+
+Algorithm 2 and the protocol library under *arbitrary* schedules: the
+schedule is drawn by hypothesis, the correctness properties must hold
+regardless — the statistical complement of the exhaustive explorer
+sweeps.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.properties import audit_dac_run, audit_task_run
+from repro.core.pac import NPacSpec
+from repro.objects.consensus import MConsensusSpec
+from repro.protocols.consensus import one_shot_consensus_processes
+from repro.protocols.dac_from_pac import algorithm2_processes
+from repro.protocols.tasks import ConsensusTask, DacDecisionTask
+from repro.runtime.scheduler import ScriptedScheduler
+from repro.runtime.system import System
+
+
+def run_with_schedule(objects, processes, schedule, max_steps=500):
+    system = System(objects, processes)
+    scheduler = ScriptedScheduler(schedule, strict=False)
+    return system.run(scheduler, max_steps=max_steps)
+
+
+class TestAlgorithm2UnderArbitrarySchedules:
+    @given(
+        st.tuples(*(st.integers(0, 1) for _ in range(3))),
+        st.lists(st.integers(0, 2), max_size=60),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_dac_safety_holds(self, inputs, schedule):
+        n = len(inputs)
+        task = DacDecisionTask(n)
+        history = run_with_schedule(
+            {"PAC": NPacSpec(n)},
+            algorithm2_processes(inputs),
+            schedule,
+        )
+        audit = audit_dac_run(task, inputs, history)
+        assert audit.ok, audit.safety.violations
+
+    @given(st.lists(st.integers(0, 3), max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_four_processes(self, schedule):
+        inputs = (1, 0, 1, 0)
+        task = DacDecisionTask(4)
+        history = run_with_schedule(
+            {"PAC": NPacSpec(4)},
+            algorithm2_processes(inputs),
+            schedule,
+        )
+        audit = audit_dac_run(task, inputs, history)
+        assert audit.ok, audit.safety.violations
+
+    @given(st.lists(st.integers(0, 2), max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_distinguished_step_bound(self, schedule):
+        """Termination (a), quantitatively, under arbitrary schedules."""
+        inputs = (1, 0, 0)
+        history = run_with_schedule(
+            {"PAC": NPacSpec(3)}, algorithm2_processes(inputs), schedule
+        )
+        assert history.steps_by_pid.get(0, 0) <= 2
+
+
+class TestConsensusUnderArbitrarySchedules:
+    @given(
+        st.tuples(*(st.integers(0, 1) for _ in range(3))),
+        st.lists(st.integers(0, 2), max_size=20),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_one_shot_consensus_safety(self, inputs, schedule):
+        task = ConsensusTask(3)
+        history = run_with_schedule(
+            {"CONS": MConsensusSpec(3)},
+            one_shot_consensus_processes(list(inputs)),
+            schedule,
+        )
+        audit = audit_task_run(task, inputs, history)
+        assert audit.ok, audit.safety.violations

@@ -1,0 +1,138 @@
+"""Tests for Observation 5.1 and Lemma 6.4 implementations."""
+
+import pytest
+
+from repro.errors import InvalidOperationError
+from repro.objects.base import SeededOracle
+from repro.protocols.embodiment import (
+    bundle_from_consensus_and_sa,
+    combined_pac_from_parts,
+    consensus_from_combined,
+    on_prime_from_consensus_and_sa,
+    pac_from_combined,
+)
+from repro.protocols.implementation import check_implementation
+from repro.core.separation import SetAgreementBundleSpec
+from repro.core.set_agreement import UNBOUNDED
+from repro.runtime.scheduler import SeededScheduler
+from repro.types import op
+
+
+class TestObservation51a:
+    """(n, m)-PAC from n-PAC + m-consensus."""
+
+    def test_linearizable_under_adversaries(self):
+        impl = combined_pac_from_parts(3, 2)
+        workloads = {
+            0: [op("proposeC", "u"), op("proposeP", "x", 1), op("decideP", 1)],
+            1: [op("proposeC", "w"), op("proposeP", "y", 2)],
+            2: [op("decideP", 2), op("proposeC", "z")],
+        }
+        for seed in range(8):
+            verdict, _result = check_implementation(
+                impl, workloads, scheduler=SeededScheduler(seed)
+            )
+            assert verdict.ok, seed
+
+    def test_route_rejects_unknown(self):
+        impl = combined_pac_from_parts(2, 2)
+        with pytest.raises(InvalidOperationError):
+            list(impl.operation_program(0, op("frobnicate"), {}))
+
+    def test_base_objects(self):
+        bases = combined_pac_from_parts(3, 2).base_objects()
+        assert bases["P"].n == 3
+        assert bases["C"].m == 2
+
+
+class TestObservation51b:
+    """n-PAC from (n, m)-PAC."""
+
+    def test_linearizable(self):
+        impl = pac_from_combined(3, 2)
+        workloads = {
+            0: [op("propose", "a", 1), op("decide", 1)],
+            1: [op("propose", "b", 2), op("decide", 2)],
+            2: [op("propose", "c", 3), op("decide", 3)],
+        }
+        for seed in range(8):
+            verdict, _result = check_implementation(
+                impl, workloads, scheduler=SeededScheduler(seed)
+            )
+            assert verdict.ok, seed
+
+
+class TestObservation51c:
+    """m-consensus from (n, m)-PAC."""
+
+    def test_linearizable(self):
+        impl = consensus_from_combined(3, 2)
+        workloads = {
+            0: [op("propose", "a")],
+            1: [op("propose", "b")],
+            2: [op("propose", "c")],
+        }
+        for seed in range(8):
+            verdict, result = check_implementation(
+                impl, workloads, scheduler=SeededScheduler(seed)
+            )
+            assert verdict.ok, seed
+            # The first two responders agree; the third gets ⊥.
+            flat = [r for rs in result.responses.values() for r in rs]
+            non_bottom = [r for r in flat if r in ("a", "b", "c")]
+            assert len(set(non_bottom)) == 1
+
+
+class TestLemma64:
+    def test_on_prime_implementation_linearizable(self):
+        impl = on_prime_from_consensus_and_sa(2, levels=3)
+        workloads = {
+            0: [op("propose", "a", 1), op("propose", "p", 2)],
+            1: [op("propose", "b", 2), op("propose", "q", 1)],
+            2: [op("propose", "c", 3), op("propose", "r", 2)],
+        }
+        for seed in range(10):
+            verdict, _result = check_implementation(
+                impl,
+                workloads,
+                scheduler=SeededScheduler(seed),
+                oracle=SeededOracle(seed + 100),
+            )
+            assert verdict.ok, seed
+
+    def test_level1_exhaustion_is_linearizable(self):
+        """Three proposes at level 1 of O'_2: the n-consensus base
+        answers ⊥ to the third — allowed by the bundle spec."""
+        impl = on_prime_from_consensus_and_sa(2, levels=2)
+        workloads = {
+            0: [op("propose", "a", 1)],
+            1: [op("propose", "b", 1)],
+            2: [op("propose", "c", 1)],
+        }
+        verdict, result = check_implementation(
+            impl, workloads, scheduler=SeededScheduler(0)
+        )
+        assert verdict.ok
+
+    def test_base_objects_per_level(self):
+        impl = on_prime_from_consensus_and_sa(3, levels=4)
+        bases = impl.base_objects()
+        assert sorted(bases) == ["CONS1", "SA2", "SA3", "SA4"]
+        assert bases["CONS1"].m == 3
+
+    def test_generic_bundle(self):
+        bundle = SetAgreementBundleSpec((2, UNBOUNDED))
+        impl = bundle_from_consensus_and_sa(bundle)
+        workloads = {
+            0: [op("propose", "a", 1), op("propose", "x", 2)],
+            1: [op("propose", "b", 2), op("propose", "y", 1)],
+        }
+        verdict, _result = check_implementation(
+            impl, workloads, scheduler=SeededScheduler(2)
+        )
+        assert verdict.ok
+
+    def test_rejects_malformed_operations(self):
+        impl = on_prime_from_consensus_and_sa(2, levels=2)
+        with pytest.raises(InvalidOperationError):
+            list(impl.operation_program(0, op("propose", "v"), {}))

@@ -1,0 +1,108 @@
+"""Tests for the implementation framework and client harness."""
+
+import pytest
+
+from repro.objects.base import SeededOracle
+from repro.objects.register import RegisterSpec
+from repro.protocols.implementation import (
+    RedirectImplementation,
+    check_implementation,
+    run_clients,
+)
+from repro.runtime.scheduler import SeededScheduler
+from repro.types import DONE, NIL, op
+
+
+def identity_register_impl():
+    """A register implemented by... a register (the trivial redirect)."""
+    return RedirectImplementation(
+        target=RegisterSpec(),
+        bases={"BASE": RegisterSpec()},
+        route=lambda operation: ("BASE", operation),
+        label="register from register",
+    )
+
+
+class TestRunClients:
+    def test_records_high_level_history(self):
+        impl = identity_register_impl()
+        result = run_clients(
+            impl,
+            {0: [op("write", 1)], 1: [op("read")]},
+        )
+        completed = result.history.completed()
+        assert len(completed) == 2
+        assert result.responses[0] == [DONE]
+        assert result.responses[1] in ([1], [NIL])
+
+    def test_each_client_runs_its_workload_in_order(self):
+        impl = identity_register_impl()
+        result = run_clients(
+            impl,
+            {0: [op("write", 1), op("write", 2), op("read")]},
+        )
+        assert result.responses[0] == [DONE, DONE, 2]
+
+    def test_base_steps_recorded_in_run_history(self):
+        impl = identity_register_impl()
+        result = run_clients(impl, {0: [op("write", 1), op("read")]})
+        assert len(result.run.steps) == 2
+
+    def test_scheduler_controls_interleaving(self):
+        impl = identity_register_impl()
+        result = run_clients(
+            impl,
+            {0: [op("write", "a")], 1: [op("write", "b")], 2: [op("read")]},
+            scheduler=SeededScheduler(4),
+        )
+        assert result.responses[2][0] in ("a", "b", NIL)
+
+
+class TestCheckImplementation:
+    def test_trivial_redirect_is_linearizable(self):
+        verdict, _result = check_implementation(
+            identity_register_impl(),
+            {0: [op("write", 1), op("read")], 1: [op("write", 2), op("read")]},
+            scheduler=SeededScheduler(0),
+        )
+        assert verdict.ok
+
+    def test_broken_implementation_detected(self):
+        """A 'register' that routes reads to a different base register
+        is not linearizable once someone writes."""
+        broken = RedirectImplementation(
+            target=RegisterSpec(),
+            bases={"A": RegisterSpec(), "B": RegisterSpec("stale")},
+            route=lambda operation: (
+                ("A", operation) if operation.name == "write" else ("B", operation)
+            ),
+            label="split-brain register",
+        )
+        verdict, _result = check_implementation(
+            broken,
+            {0: [op("write", 1), op("read")]},
+        )
+        assert not verdict.ok
+
+    def test_oracle_threading(self):
+        """The response oracle reaches the base objects."""
+        from repro.core.set_agreement import StrongSetAgreementSpec
+
+        impl = RedirectImplementation(
+            target=StrongSetAgreementSpec(2),
+            bases={"SA": StrongSetAgreementSpec(2)},
+            route=lambda operation: ("SA", operation),
+            label="SA from SA",
+        )
+        verdict, result = check_implementation(
+            impl,
+            {0: [op("propose", "a")], 1: [op("propose", "b")]},
+            scheduler=SeededScheduler(1),
+            oracle=SeededOracle(9),
+        )
+        assert verdict.ok
+        flat = [r for responses in result.responses.values() for r in responses]
+        assert set(flat) <= {"a", "b"}
+
+    def test_name(self):
+        assert identity_register_impl().name() == "register from register"

@@ -1,0 +1,116 @@
+"""Tests for the snapshot spec and the Afek et al. implementation."""
+
+import pytest
+
+from repro.errors import InvalidOperationError, SpecificationError
+from repro.objects.snapshot import SnapshotSpec
+from repro.protocols.implementation import check_implementation, run_clients
+from repro.protocols.snapshot import AfekSnapshotImplementation
+from repro.runtime.scheduler import RoundRobinScheduler, SeededScheduler
+from repro.types import DONE, NIL, op
+
+
+class TestSnapshotSpec:
+    def test_initial_all_nil(self):
+        assert SnapshotSpec(3).initial_state() == (NIL, NIL, NIL)
+
+    def test_update_then_scan(self):
+        spec = SnapshotSpec(2)
+        _state, responses = spec.run(
+            [op("update", 0, "a"), op("update", 1, "b"), op("scan")]
+        )
+        assert responses == (DONE, DONE, ("a", "b"))
+
+    def test_update_overwrites(self):
+        spec = SnapshotSpec(1)
+        state, _responses = spec.run(
+            [op("update", 0, 1), op("update", 0, 2)]
+        )
+        assert state == (2,)
+
+    def test_index_validation(self):
+        spec = SnapshotSpec(2)
+        with pytest.raises(InvalidOperationError):
+            spec.responses(spec.initial_state(), op("update", 5, "x"))
+        with pytest.raises(InvalidOperationError):
+            spec.responses(spec.initial_state(), op("update", -1, "x"))
+
+    def test_requires_positive_n(self):
+        with pytest.raises(SpecificationError):
+            SnapshotSpec(0)
+
+    def test_scan_rejects_args(self):
+        spec = SnapshotSpec(1)
+        with pytest.raises(InvalidOperationError):
+            spec.responses(spec.initial_state(), op("scan", 1))
+
+
+class TestAfekImplementation:
+    def workloads(self):
+        return {
+            0: [op("update", 0, "a0"), op("scan"), op("update", 0, "a1")],
+            1: [op("scan"), op("update", 1, "b0"), op("scan")],
+            2: [op("update", 2, "c0"), op("scan")],
+        }
+
+    def test_linearizable_across_adversaries(self):
+        for seed in range(12):
+            impl = AfekSnapshotImplementation(3)
+            verdict, _result = check_implementation(
+                impl, self.workloads(), scheduler=SeededScheduler(seed)
+            )
+            assert verdict.ok, seed
+
+    def test_round_robin_linearizable(self):
+        impl = AfekSnapshotImplementation(3)
+        verdict, _result = check_implementation(
+            impl, self.workloads(), scheduler=RoundRobinScheduler()
+        )
+        assert verdict.ok
+
+    def test_solo_scan_sees_initial(self):
+        impl = AfekSnapshotImplementation(2)
+        result = run_clients(impl, {0: [op("scan")]})
+        assert result.responses[0] == [(NIL, NIL)]
+
+    def test_solo_update_then_scan(self):
+        impl = AfekSnapshotImplementation(2)
+        result = run_clients(
+            impl, {0: [op("update", 0, "x"), op("scan")]}
+        )
+        assert result.responses[0] == [DONE, ("x", NIL)]
+
+    def test_single_writer_enforced(self):
+        impl = AfekSnapshotImplementation(2)
+        with pytest.raises(InvalidOperationError, match="single-writer"):
+            list(impl.operation_program(0, op("update", 1, "x"), {}))
+
+    def test_scan_wait_freedom_bound(self):
+        """A scan costs at most (n+3) * n base reads."""
+        impl = AfekSnapshotImplementation(3)
+        result = run_clients(
+            impl,
+            {
+                0: [op("scan")],
+                1: [op("update", 1, "u1")],
+                2: [op("update", 2, "u2")],
+            },
+            scheduler=SeededScheduler(9),
+        )
+        scanner_steps = result.run.steps_by_pid.get(0, 0)
+        assert scanner_steps <= (3 + 3) * 3
+
+    def test_heavy_contention_many_seeds(self):
+        workloads = {
+            0: [op("update", 0, v) for v in range(3)] + [op("scan")],
+            1: [op("scan"), op("update", 1, "z"), op("scan")],
+        }
+        for seed in range(10):
+            impl = AfekSnapshotImplementation(2)
+            verdict, _result = check_implementation(
+                impl, workloads, scheduler=SeededScheduler(seed)
+            )
+            assert verdict.ok, seed
+
+    def test_name(self):
+        assert "Afek" in AfekSnapshotImplementation(2).name()

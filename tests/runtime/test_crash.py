@@ -1,0 +1,153 @@
+"""Tests for crash-failure injection and crash tolerance."""
+
+import pytest
+
+from repro.analysis.properties import audit_dac_run
+from repro.core.pac import NPacSpec
+from repro.errors import SpecificationError
+from repro.objects.consensus import MConsensusSpec
+from repro.protocols.consensus import one_shot_consensus_processes
+from repro.protocols.dac_from_pac import algorithm2_processes
+from repro.protocols.tasks import DacDecisionTask
+from repro.runtime.crash import CrashEvent, CrashPlan, run_with_crashes
+from repro.runtime.scheduler import RoundRobinScheduler, SeededScheduler
+from repro.runtime.system import ProcessStatus, System
+
+
+class TestCrashEvent:
+    def test_requires_exactly_one_trigger(self):
+        with pytest.raises(SpecificationError):
+            CrashEvent(0)
+        with pytest.raises(SpecificationError):
+            CrashEvent(0, after_global_steps=1, after_own_steps=1)
+
+    def test_valid_triggers(self):
+        CrashEvent(0, after_global_steps=3)
+        CrashEvent(1, after_own_steps=2)
+
+
+class TestCrashPlan:
+    def make_system(self, inputs=(1, 0, 0)):
+        return System(
+            {"PAC": NPacSpec(len(inputs))}, algorithm2_processes(inputs)
+        )
+
+    def test_global_trigger_fires(self):
+        system = self.make_system()
+        plan = CrashPlan().crash_after_global(1, 2)
+        run_with_crashes(system, plan, RoundRobinScheduler(), max_steps=200)
+        assert system.status_of(1) == ProcessStatus.CRASHED
+
+    def test_own_step_trigger_fires(self):
+        system = self.make_system()
+        plan = CrashPlan().crash_after_own(2, 1)
+        run_with_crashes(system, plan, RoundRobinScheduler(), max_steps=200)
+        assert system.status_of(2) == ProcessStatus.CRASHED
+        assert system.history.steps_by_pid.get(2, 0) == 1
+
+    def test_crash_of_terminated_process_is_noop(self):
+        system = self.make_system((1, 0))
+        plan = CrashPlan().crash_after_global(0, 100)
+        run_with_crashes(system, plan, RoundRobinScheduler(), max_steps=500)
+        # 0 terminated before step 100 — its status must reflect the
+        # decision/abort, not a crash.
+        assert system.status_of(0) in (
+            ProcessStatus.DECIDED,
+            ProcessStatus.ABORTED,
+        )
+
+
+class TestAlgorithm2CrashTolerance:
+    """Algorithm 2 under crashes: survivors satisfy n-DAC safety, and
+    surviving non-distinguished processes decide when run after the
+    crash (their retry loop clears once contention stops)."""
+
+    def run_case(self, inputs, plan, scheduler, max_steps=2000):
+        system = System(
+            {"PAC": NPacSpec(len(inputs))}, algorithm2_processes(inputs)
+        )
+        history = run_with_crashes(system, plan, scheduler, max_steps)
+        return system, history
+
+    def test_distinguished_crash_mid_pair(self):
+        """p crashes between its propose and decide. Under round-robin
+        the survivors may starve each other forever (allowed: their
+        guarantee is solo-run only), but safety holds throughout, and
+        once each survivor gets a solo window it decides — p's
+        abandoned proposal upsets nobody."""
+        from repro.runtime.scheduler import SoloScheduler
+
+        inputs = (1, 0, 0)
+        task = DacDecisionTask(3)
+        plan = CrashPlan().crash_after_own(0, 1)
+        system, history = self.run_case(
+            inputs, plan, RoundRobinScheduler(), max_steps=100
+        )
+        audit = audit_dac_run(task, inputs, history)
+        assert audit.ok, audit.safety.violations
+        assert system.status_of(0) == ProcessStatus.CRASHED
+        # Give each survivor a solo window: both decide.
+        for pid in (1, 2):
+            system.run(
+                SoloScheduler(pid),
+                max_steps=len(system.history.steps) + 50,
+                stop_when=lambda s, p=pid: s.status_of(p)
+                != ProcessStatus.RUNNING,
+            )
+        assert history.decisions.get(1) == 0
+        assert history.decisions.get(2) == 0
+        audit = audit_dac_run(task, inputs, history)
+        assert audit.ok, audit.safety.violations
+
+    def test_other_crash_mid_pair(self):
+        inputs = (1, 0, 0)
+        task = DacDecisionTask(3)
+        plan = CrashPlan().crash_after_own(1, 1)
+        system, history = self.run_case(inputs, plan, RoundRobinScheduler())
+        audit = audit_dac_run(task, inputs, history)
+        assert audit.ok, audit.safety.violations
+        # The survivors terminated (decided or aborted).
+        for pid in (0, 2):
+            assert system.status_of(pid) in (
+                ProcessStatus.DECIDED,
+                ProcessStatus.ABORTED,
+            )
+
+    def test_random_crash_storms(self):
+        inputs = (1, 0, 1, 0)
+        task = DacDecisionTask(4)
+        for seed in range(15):
+            plan = (
+                CrashPlan()
+                .crash_after_global(1 + seed % 3, 1 + seed % 5)
+            )
+            system, history = self.run_case(
+                inputs, plan, SeededScheduler(seed)
+            )
+            audit = audit_dac_run(task, inputs, history)
+            assert audit.ok, (seed, audit.safety.violations)
+
+    def test_all_but_one_crash_survivor_decides(self):
+        """Termination (b) via crashes: crash everyone except q; q's
+        post-crash run is solo, so it must decide."""
+        inputs = (1, 0, 0)
+        plan = (
+            CrashPlan()
+            .crash_after_global(0, 0)
+            .crash_after_global(2, 0)
+        )
+        system, history = self.run_case(inputs, plan, RoundRobinScheduler())
+        assert history.decisions.get(1) == 0
+
+
+class TestConsensusCrashes:
+    def test_one_shot_consensus_with_crash(self):
+        system = System(
+            {"CONS": MConsensusSpec(3)},
+            one_shot_consensus_processes([0, 1, 1]),
+        )
+        plan = CrashPlan().crash_after_global(0, 0)
+        history = run_with_crashes(system, plan, RoundRobinScheduler())
+        assert 0 not in history.decisions
+        values = {history.decisions[pid] for pid in (1, 2)}
+        assert len(values) == 1

@@ -1,0 +1,62 @@
+"""Tests for runtime actions and step records."""
+
+from repro.runtime.events import (
+    Abort,
+    Decide,
+    Halt,
+    Invoke,
+    Step,
+    TERMINAL_ACTIONS,
+)
+from repro.types import op
+
+
+class TestActions:
+    def test_invoke_is_a_value(self):
+        first = Invoke("R", op("write", 1))
+        second = Invoke("R", op("write", 1))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_invoke_repr(self):
+        assert repr(Invoke("R", op("write", 1))) == "R.write(1)"
+
+    def test_decide_repr(self):
+        assert repr(Decide(0)) == "decide(0)"
+
+    def test_abort_and_halt_repr(self):
+        assert repr(Abort()) == "abort()"
+        assert repr(Halt()) == "halt()"
+
+    def test_terminal_actions_tuple(self):
+        assert Decide in TERMINAL_ACTIONS
+        assert Abort in TERMINAL_ACTIONS
+        assert Halt in TERMINAL_ACTIONS
+        assert Invoke not in TERMINAL_ACTIONS
+
+    def test_decides_compare_by_value(self):
+        assert Decide(1) == Decide(1)
+        assert Decide(1) != Decide(2)
+
+
+class TestStep:
+    def test_step_repr_plain(self):
+        step = Step(index=3, pid=1, invoke=Invoke("R", op("read")), response=7)
+        text = repr(step)
+        assert "#3" in text and "p1" in text and "R.read()" in text and "7" in text
+        assert "choice" not in text
+
+    def test_step_repr_with_choice(self):
+        step = Step(
+            index=0,
+            pid=0,
+            invoke=Invoke("SA", op("propose", 1)),
+            response=1,
+            choice=2,
+        )
+        assert "choice 2" in repr(step)
+
+    def test_steps_are_values(self):
+        a = Step(0, 0, Invoke("R", op("read")), 1)
+        b = Step(0, 0, Invoke("R", op("read")), 1)
+        assert a == b

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["demo"],
+            ["check-algorithm2", "--n", "2"],
+            ["refute"],
+            ["refute", "--candidate", "queue"],
+            ["separation", "--n", "2"],
+            ["power"],
+            ["list-candidates"],
+            ["ledger", "--n", "3"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "2-PAC" in out
+        assert "no violation" in out
+
+    def test_check_algorithm2(self, capsys):
+        assert main(["check-algorithm2", "--n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4.1 @ n=2" in out
+        assert "✓" in out
+
+    def test_power(self, capsys):
+        assert main(["power"]) == 0
+        out = capsys.readouterr().out
+        assert "registers: (=1, =2" in out
+        assert "O_2" in out
+
+    def test_list_candidates(self, capsys):
+        assert main(["list-candidates"]) == 0
+        out = capsys.readouterr().out
+        assert "2-SA" in out
+        assert "expected: liveness" in out
+
+    def test_refute_single_candidate(self, capsys):
+        assert main(["refute", "--candidate", "one 2-SA"]) == 0
+        out = capsys.readouterr().out
+        assert "violating schedule" in out
+        assert "MISMATCH" not in out
+
+    def test_refute_unknown_candidate(self, capsys):
+        assert main(["refute", "--candidate", "zzz-no-such"]) == 1
+
+    def test_refute_positive_control(self, capsys):
+        assert main(["refute", "--candidate", "2-consensus from queue"]) == 0
+        out = capsys.readouterr().out
+        assert "correct protocol" in out
+
+    def test_separation(self, capsys):
+        assert main(["separation", "--n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "powers agree" in out
+        assert "Corollary 6.6" in out
+
+    def test_refute_full_suite(self, capsys):
+        assert main(["refute"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("===") >= 10  # every candidate has a section
+
+    def test_ledger(self, capsys):
+        assert main(["ledger", "--n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "--implements-->" in out
+        assert "--CANNOT-->" in out
+        assert "reproduced ✓" in out
+        assert "CONFLICT" not in out

@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ExplorationBudgetExceeded,
+    InvalidOperationError,
+    NotLinearizableError,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    SpecificationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            SpecificationError,
+            InvalidOperationError,
+            ProtocolError,
+            SchedulingError,
+            AnalysisError,
+            ExplorationBudgetExceeded,
+            NotLinearizableError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_budget_is_an_analysis_error(self):
+        assert issubclass(ExplorationBudgetExceeded, AnalysisError)
+
+    def test_not_linearizable_is_an_analysis_error(self):
+        assert issubclass(NotLinearizableError, AnalysisError)
+
+    def test_one_except_clause_catches_all(self):
+        try:
+            raise InvalidOperationError("bad op")
+        except ReproError as caught:
+            assert "bad op" in str(caught)
+
+    def test_library_raises_only_its_own_family(self):
+        """Spot check: a representative misuse from each layer raises a
+        ReproError subtype, never a bare Exception."""
+        from repro.core.pac import NPacSpec
+        from repro.objects.register import RegisterSpec
+        from repro.runtime.system import System
+        from repro.types import op
+
+        with pytest.raises(ReproError):
+            NPacSpec(0)
+        with pytest.raises(ReproError):
+            RegisterSpec().responses(0, op("nope"))
+        with pytest.raises(ReproError):
+            System({}, []).step(0)

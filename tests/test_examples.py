@@ -1,0 +1,35 @@
+"""Every example script must run clean — they are living documentation."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def example_paths():
+    return sorted(
+        os.path.join(EXAMPLES_DIR, name)
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    )
+
+
+@pytest.mark.parametrize(
+    "path", example_paths(), ids=[os.path.basename(p) for p in example_paths()]
+)
+def test_example_runs_clean(path):
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "complete" in result.stdout.lower() or "legend" in result.stdout.lower()
+
+
+def test_we_ship_at_least_five_examples():
+    assert len(example_paths()) >= 5

@@ -1,0 +1,103 @@
+"""Tests for repro.types: sentinels, operations, guards."""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.types import (
+    ABORT,
+    BOTTOM,
+    DONE,
+    NIL,
+    Operation,
+    is_special,
+    op,
+    require,
+)
+
+
+class TestSentinels:
+    def test_sentinels_are_distinct(self):
+        sentinels = [NIL, BOTTOM, DONE, ABORT]
+        assert len({id(s) for s in sentinels}) == 4
+        for first in sentinels:
+            for second in sentinels:
+                if first is not second:
+                    assert first != second
+
+    def test_sentinel_equaly_only_to_itself(self):
+        assert BOTTOM == BOTTOM
+        assert not (BOTTOM == "⊥")
+        assert BOTTOM != 0
+        assert BOTTOM != None  # noqa: E711 - deliberate equality check
+
+    def test_sentinel_repr(self):
+        assert repr(NIL) == "NIL"
+        assert repr(BOTTOM) == "⊥"
+        assert repr(DONE) == "done"
+        assert repr(ABORT) == "ABORT"
+
+    def test_sentinel_hashable_and_stable(self):
+        assert hash(BOTTOM) == hash(BOTTOM)
+        assert {NIL: 1}[NIL] == 1
+
+    def test_deepcopy_preserves_identity(self):
+        assert copy.deepcopy(BOTTOM) is BOTTOM
+        assert copy.copy(NIL) is NIL
+        nested = {"x": [BOTTOM, (NIL, DONE)]}
+        cloned = copy.deepcopy(nested)
+        assert cloned["x"][0] is BOTTOM
+        assert cloned["x"][1][0] is NIL
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        for sentinel in (NIL, BOTTOM, DONE, ABORT):
+            assert pickle.loads(pickle.dumps(sentinel)) is sentinel
+
+    def test_is_special(self):
+        assert is_special(BOTTOM)
+        assert is_special(NIL)
+        assert not is_special(0)
+        assert not is_special("done")
+        assert not is_special(None)
+
+
+class TestOperation:
+    def test_op_constructor(self):
+        operation = op("propose", 1, 2)
+        assert operation.name == "propose"
+        assert operation.args == (1, 2)
+
+    def test_no_args(self):
+        assert op("read").args == ()
+
+    def test_repr(self):
+        assert repr(op("write", 7)) == "write(7)"
+        assert repr(op("read")) == "read()"
+        assert repr(op("propose", "a", 1)) == "propose('a', 1)"
+
+    def test_operations_are_values(self):
+        assert op("propose", 1) == op("propose", 1)
+        assert op("propose", 1) != op("propose", 2)
+        assert hash(op("decide", 1)) == hash(op("decide", 1))
+
+    def test_operation_usable_in_sets(self):
+        bag = {op("propose", 0, 1), op("propose", 0, 1), op("decide", 1)}
+        assert len(bag) == 2
+
+    def test_default_args_empty(self):
+        assert Operation("halt").args == ()
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, SpecificationError, "should not raise")
+
+    def test_raises_with_message(self):
+        with pytest.raises(SpecificationError, match="boom"):
+            require(False, SpecificationError, "boom")
+
+    def test_raises_requested_type(self):
+        with pytest.raises(ValueError):
+            require(False, ValueError, "nope")

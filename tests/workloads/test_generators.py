@@ -1,0 +1,81 @@
+"""Tests for client workload generators."""
+
+import pytest
+
+from repro.types import op
+from repro.workloads.generators import (
+    bundle_workloads,
+    counter_workloads,
+    pac_workloads,
+    queue_workloads,
+    register_workloads,
+    snapshot_workloads,
+)
+
+
+class TestShapes:
+    def test_queue_workloads_shape(self):
+        workloads = queue_workloads(3, 5, seed=1)
+        assert sorted(workloads) == [0, 1, 2]
+        assert all(len(ops) == 5 for ops in workloads.values())
+        for ops in workloads.values():
+            for operation in ops:
+                assert operation.name in ("enqueue", "dequeue")
+
+    def test_register_workloads_shape(self):
+        workloads = register_workloads(2, 4, seed=0)
+        for ops in workloads.values():
+            for operation in ops:
+                assert operation.name in ("read", "write")
+
+    def test_counter_workloads_deltas_positive(self):
+        workloads = counter_workloads(2, 6, seed=2)
+        for ops in workloads.values():
+            for operation in ops:
+                assert operation.name == "fetch_and_add"
+                assert 1 <= operation.args[0] <= 5
+
+
+class TestSingleWriterDiscipline:
+    def test_snapshot_updates_own_segment_only(self):
+        workloads = snapshot_workloads(4, 6, seed=3)
+        for pid, ops in workloads.items():
+            for operation in ops:
+                if operation.name == "update":
+                    assert operation.args[0] == pid
+
+
+class TestBundleWorkloads:
+    def test_levels_respected(self):
+        workloads = bundle_workloads(3, levels=(1, 3), ops_per_process=5, seed=4)
+        for ops in workloads.values():
+            for operation in ops:
+                assert operation.name == "propose"
+                assert operation.args[1] in (1, 3)
+
+    def test_values_unique_per_op(self):
+        workloads = bundle_workloads(2, levels=(1,), ops_per_process=3, seed=5)
+        values = [
+            operation.args[0]
+            for ops in workloads.values()
+            for operation in ops
+        ]
+        assert len(values) == len(set(values))
+
+
+class TestPacWorkloads:
+    def test_pairs_alternate(self):
+        workloads = pac_workloads(2, rounds=3, n_labels=2, seed=6)
+        for pid, ops in workloads.items():
+            names = [operation.name for operation in ops]
+            assert names == ["propose", "decide"] * 3
+
+    def test_label_assignment(self):
+        workloads = pac_workloads(4, rounds=1, n_labels=2, seed=7)
+        labels = {
+            pid: ops[0].args[1] for pid, ops in workloads.items()
+        }
+        assert labels == {0: 1, 1: 2, 2: 1, 3: 2}
+
+    def test_reproducible(self):
+        assert pac_workloads(2, 2, 2, seed=8) == pac_workloads(2, 2, 2, seed=8)

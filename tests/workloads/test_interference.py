@@ -1,0 +1,54 @@
+"""Tests for the interference adversary."""
+
+import pytest
+
+from repro.workloads.interference import InterferenceScheduler
+
+
+class TestValidation:
+    def test_intensity_bounds(self):
+        with pytest.raises(ValueError):
+            InterferenceScheduler(0, 1.5)
+        with pytest.raises(ValueError):
+            InterferenceScheduler(0, -0.1)
+
+
+class TestBehaviour:
+    def test_zero_intensity_runs_target_solo(self):
+        scheduler = InterferenceScheduler(0, 0.0, seed=1)
+        picks = [scheduler.choose([0, 1, 2], i) for i in range(20)]
+        assert picks == [0] * 20
+
+    def test_full_intensity_alternates(self):
+        scheduler = InterferenceScheduler(0, 1.0, seed=1)
+        picks = [scheduler.choose([0, 1], i) for i in range(10)]
+        assert picks == [0, 1] * 5
+
+    def test_rivals_rotate(self):
+        scheduler = InterferenceScheduler(0, 1.0, seed=1)
+        picks = [scheduler.choose([0, 1, 2], i) for i in range(8)]
+        # Target alternates with rotating rivals.
+        assert picks[0::2] == [0, 0, 0, 0]
+        assert set(picks[1::2]) == {1, 2}
+
+    def test_falls_back_when_target_done(self):
+        scheduler = InterferenceScheduler(0, 0.5, seed=2)
+        picks = [scheduler.choose([1, 2], i) for i in range(6)]
+        assert set(picks) <= {1, 2}
+
+    def test_solo_target_when_no_rivals(self):
+        scheduler = InterferenceScheduler(0, 1.0, seed=3)
+        assert scheduler.choose([0], 0) == 0
+
+    def test_reproducible(self):
+        a = InterferenceScheduler(0, 0.5, seed=9)
+        b = InterferenceScheduler(0, 0.5, seed=9)
+        assert [a.choose([0, 1], i) for i in range(30)] == [
+            b.choose([0, 1], i) for i in range(30)
+        ]
+
+    def test_intermediate_intensity_mixes(self):
+        scheduler = InterferenceScheduler(0, 0.5, seed=4)
+        picks = [scheduler.choose([0, 1], i) for i in range(60)]
+        assert 0 in picks and 1 in picks
+        assert picks.count(1) < picks.count(0)

@@ -1,0 +1,70 @@
+"""Tests for schedule/adversary generators."""
+
+import pytest
+
+from repro.runtime.scheduler import (
+    AlternatingScheduler,
+    BlockingScheduler,
+    RoundRobinScheduler,
+    SeededScheduler,
+    SoloScheduler,
+)
+from repro.workloads.schedules import (
+    adversary_suite,
+    exhaustive_schedules,
+    random_schedulers,
+)
+
+
+class TestRandomSchedulers:
+    def test_count(self):
+        assert len(random_schedulers(7)) == 7
+
+    def test_distinct_seeds(self):
+        first, second = random_schedulers(2, base_seed=10)
+        picks_first = [first.choose([0, 1, 2], i) for i in range(30)]
+        picks_second = [second.choose([0, 1, 2], i) for i in range(30)]
+        assert picks_first != picks_second
+
+    def test_reproducible_across_calls(self):
+        a = random_schedulers(1, base_seed=3)[0]
+        b = random_schedulers(1, base_seed=3)[0]
+        assert [a.choose([0, 1], i) for i in range(20)] == [
+            b.choose([0, 1], i) for i in range(20)
+        ]
+
+
+class TestAdversarySuite:
+    def test_contains_each_family(self):
+        suite = dict(adversary_suite(3, random_count=2))
+        assert isinstance(suite["round-robin"], RoundRobinScheduler)
+        assert any(isinstance(s, SeededScheduler) for s in suite.values())
+        assert isinstance(suite["alternate[0,1]"], AlternatingScheduler)
+        assert isinstance(suite["solo[2]"], SoloScheduler)
+        assert isinstance(suite["crash[1]"], BlockingScheduler)
+
+    def test_solos_optional(self):
+        suite = dict(adversary_suite(2, include_solos=False))
+        assert not any(name.startswith("solo") for name in suite)
+
+    def test_pairwise_alternations_complete(self):
+        suite = dict(adversary_suite(4, random_count=0, include_solos=False))
+        alternations = [n for n in suite if n.startswith("alternate")]
+        assert len(alternations) == 6  # C(4, 2)
+
+    def test_names_unique(self):
+        names = [name for name, _s in adversary_suite(3)]
+        assert len(names) == len(set(names))
+
+
+class TestExhaustiveSchedules:
+    def test_counts(self):
+        schedules = list(exhaustive_schedules([0, 1], 3))
+        assert len(schedules) == 8
+
+    def test_zero_length(self):
+        assert list(exhaustive_schedules([0, 1], 0)) == [()]
+
+    def test_members(self):
+        schedules = set(exhaustive_schedules([0, 1], 2))
+        assert (0, 1) in schedules and (1, 1) in schedules
