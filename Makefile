@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench experiments examples verify clean
+.PHONY: install test bench experiments examples lint verify clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,10 @@ experiments:
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo OK; done
+
+# Protocol-aware static analysis (replayability contract R001-R006).
+lint:
+	python -m repro lint
 
 # The reproduction smoke-check: every CLI command must exit 0.
 verify:

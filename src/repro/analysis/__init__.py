@@ -27,6 +27,12 @@ from .linearizability import (
     LinearizabilityVerdict,
     check_linearizable,
 )
+from .replay import (
+    ReplayReport,
+    oracle_script,
+    replay_counterexample,
+    verify_replay,
+)
 from .suite import PhaseOutcome, SuiteVerdict, verify_task_protocol
 from .properties import (
     RunAudit,
@@ -69,6 +75,7 @@ __all__ = [
     "LinearizabilityChecker",
     "LinearizabilityVerdict",
     "ONE_VALENT",
+    "ReplayReport",
     "RunAudit",
     "SafetyCounterexample",
     "Valency",
@@ -86,4 +93,7 @@ __all__ = [
     "contended_object",
     "find_critical_configuration",
     "initial_valency_report",
+    "oracle_script",
+    "replay_counterexample",
+    "verify_replay",
 ]

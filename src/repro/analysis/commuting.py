@@ -96,7 +96,7 @@ def verify_disjoint_commutativity(
     graph = explorer.explore(max_configurations=max_configurations)
     checked = 0
     violations: List[CommutingViolation] = []
-    for config in graph.configurations:
+    for config in graph.order:
         enabled = config.enabled()
         for index, first in enumerate(enabled):
             invoke_first = _poised_invoke(explorer, config, first)
@@ -133,7 +133,7 @@ def verify_read_transparency(
     }
     checked = 0
     violations: List[CommutingViolation] = []
-    for config in graph.configurations:
+    for config in graph.order:
         for pid in config.enabled():
             invoke = _poised_invoke(explorer, config, pid)
             if (

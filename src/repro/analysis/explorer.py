@@ -112,9 +112,17 @@ class ExplorationResult:
     enough to reconstruct a witness schedule with :func:`schedule_to`.
     ``complete`` is False when a budget truncated the search, in which
     case absence of a violation is *not* a proof.
+
+    ``order`` lists the configurations in BFS discovery order.
+    Analyses that *select* a configuration (the counterexample
+    ``check_safety`` returns, the livelock entry) must iterate ``order``
+    rather than the ``configurations`` set: set iteration order depends
+    on ``PYTHONHASHSEED``, and a witness whose identity changes between
+    interpreter runs cannot be replayed bit-for-bit (lint rule R001).
     """
 
     initial: Configuration
+    order: List[Configuration] = field(default_factory=list)
     configurations: Set[Configuration] = field(default_factory=set)
     successors: Dict[Configuration, List[Tuple[Edge, Configuration]]] = field(
         default_factory=dict
@@ -297,6 +305,7 @@ class Explorer:
         start = initial if initial is not None else self.initial_configuration()
         result = ExplorationResult(initial=start)
         result.configurations.add(start)
+        result.order.append(start)
         frontier: List[Configuration] = [start]
         while frontier:
             next_frontier: List[Configuration] = []
@@ -314,6 +323,7 @@ class Explorer:
                         result.complete = False
                         return result
                     result.configurations.add(successor)
+                    result.order.append(successor)
                     result.parents[successor] = (config, edge)
                     next_frontier.append(successor)
             frontier = next_frontier
@@ -335,7 +345,9 @@ class Explorer:
         under a truncated search is not evidence.
         """
         exploration = self.explore(initial, max_configurations)
-        for config in exploration.configurations:
+        # BFS order, not set order: the returned counterexample must be
+        # the same one on every run regardless of PYTHONHASHSEED.
+        for config in exploration.order:
             verdict = task.check_safety(
                 inputs, config.decisions(), config.aborted()
             )
@@ -370,7 +382,7 @@ class Explorer:
                 "decision_values needs a complete subgraph; raise the budget"
             )
         values: Set[Value] = set()
-        for reached in exploration.configurations:
+        for reached in exploration.order:
             for decider, value in reached.decisions().items():
                 if pid is None or decider == pid:
                     values.add(value)
@@ -397,7 +409,7 @@ class Explorer:
         # Iterative DFS with colors to find a back edge.
         WHITE, GRAY, BLACK = 0, 1, 2
         color: Dict[Configuration, int] = {
-            c: WHITE for c in exploration.configurations
+            c: WHITE for c in exploration.order
         }
         on_path: List[Tuple[Configuration, Edge]] = []
         start = exploration.initial
@@ -428,7 +440,7 @@ class Explorer:
                 moving = frozenset(e.pid for e in cycle_edges)
                 undecided = {
                     pid
-                    for pid in moving
+                    for pid in sorted(moving)
                     if successor.statuses[pid] is RUNNING
                 }
                 if not require_undecided_mover or undecided:

@@ -1,0 +1,150 @@
+"""Strict replay of explorer witnesses through the live simulator.
+
+A counterexample is only evidence if it can be replayed bit-for-bit: the
+explorer's :class:`~repro.analysis.explorer.Edge` sequence names which
+process moved and which nondeterministic outcome the adversary chose,
+and running the *live* :class:`~repro.runtime.system.System` under a
+:class:`~repro.runtime.scheduler.ScriptedScheduler` plus a
+:class:`~repro.objects.base.ScriptedOracle` must land in exactly the
+configuration the explorer predicted. This module packages that round
+trip:
+
+* :func:`oracle_script` — project an edge schedule onto the choices the
+  oracle will actually be consulted for (the simulator only asks the
+  oracle on multi-outcome steps, while explorer edges carry a choice for
+  every step);
+* :func:`replay_counterexample` — run the scripted replay and return the
+  resulting :class:`~repro.runtime.history.RunHistory`;
+* :func:`verify_replay` — replay and diff against the witness, step by
+  step, producing a :class:`ReplayReport`.
+
+Both scripted adversaries run in strict mode by default: if the replay
+ever needs a choice the script cannot answer, the run raises
+(:class:`~repro.errors.SchedulingError` /
+:class:`~repro.errors.ReplayDivergenceError`) instead of silently
+degrading into a different run — lint rule R006's contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..objects.base import ScriptedOracle
+from ..runtime.history import RunHistory
+from ..runtime.scheduler import ScriptedScheduler
+from ..runtime.system import System
+from ..types import ProcessId, Value
+from .explorer import Edge, Explorer, SafetyCounterexample
+
+#: Anything that names a schedule: a counterexample or a bare edge list.
+Witness = Union[SafetyCounterexample, Sequence[Edge]]
+
+
+def _edges(witness: Witness) -> Tuple[Edge, ...]:
+    if isinstance(witness, SafetyCounterexample):
+        return tuple(witness.schedule)
+    return tuple(witness)
+
+
+def oracle_script(explorer: Explorer, schedule: Sequence[Edge]) -> List[int]:
+    """The oracle-consultation subsequence of ``schedule``'s choices.
+
+    The simulator consults the response oracle only when an operation
+    has more than one outcome, while explorer edges record a choice
+    (usually 0) for every step. Walking the schedule through the pure
+    configuration calculus tells us exactly which steps will consult the
+    oracle, so the scripted replay stays aligned step for step.
+    """
+    config = explorer.initial_configuration()
+    consulted: List[int] = []
+    for edge in schedule:
+        automaton = explorer.processes[edge.pid]
+        action = automaton.next_action(config.process_states[edge.pid])
+        index = explorer.object_names.index(action.obj)
+        outcomes = explorer.specs[index].responses(
+            config.object_states[index], action.operation
+        )
+        if len(outcomes) > 1:
+            consulted.append(edge.choice)
+        config = explorer.step(config, edge.pid, edge.choice)
+    return consulted
+
+
+def replay_counterexample(
+    explorer: Explorer, witness: Witness, strict: bool = True
+) -> RunHistory:
+    """Replay a witness schedule through a fresh live :class:`System`.
+
+    Builds the system from the explorer's own specs and (pure, hence
+    reusable) automata, drives it with strict scripted adversaries, and
+    returns the resulting run history. The history's ``schedule()`` and
+    ``choices()`` must equal the witness's — :func:`verify_replay`
+    checks exactly that.
+    """
+    schedule = _edges(witness)
+    scheduler = ScriptedScheduler(
+        [edge.pid for edge in schedule], strict=strict
+    )
+    oracle = ScriptedOracle(oracle_script(explorer, schedule), strict=strict)
+    objects = dict(zip(explorer.object_names, explorer.specs))
+    system = System(objects, explorer.processes, oracle=oracle)
+    return system.run(scheduler=scheduler, max_steps=len(schedule))
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """The outcome of one witness round trip.
+
+    ``matches`` is True iff the replayed run reproduced the witness
+    exactly: same pid sequence, same outcome choices, same responses,
+    and (for a full counterexample) the same decision map. Any
+    discrepancy is listed in ``mismatches``.
+    """
+
+    run: RunHistory
+    matches: bool
+    mismatches: Tuple[str, ...]
+
+
+def verify_replay(
+    explorer: Explorer, witness: Witness, strict: bool = True
+) -> ReplayReport:
+    """Replay ``witness`` and diff the run against it, step by step."""
+    schedule = _edges(witness)
+    run = replay_counterexample(explorer, witness, strict=strict)
+    mismatches: List[str] = []
+    expected_pids: Tuple[ProcessId, ...] = tuple(e.pid for e in schedule)
+    if run.schedule() != expected_pids:
+        mismatches.append(
+            f"schedule: expected {expected_pids}, replayed {run.schedule()}"
+        )
+    expected_choices = tuple(e.choice for e in schedule)
+    if run.choices() != expected_choices:
+        mismatches.append(
+            f"choices: expected {expected_choices}, replayed {run.choices()}"
+        )
+    for step, edge in zip(run.steps, schedule):
+        if step.response != edge.response:
+            mismatches.append(
+                f"step {step.index}: response {step.response!r} != "
+                f"witness response {edge.response!r}"
+            )
+    if isinstance(witness, SafetyCounterexample):
+        expected_decisions: Dict[ProcessId, Value] = (
+            witness.configuration.decisions()
+        )
+        if run.decisions != expected_decisions:
+            mismatches.append(
+                f"decisions: expected {expected_decisions}, "
+                f"replayed {run.decisions}"
+            )
+        expected_aborted = set(witness.configuration.aborted())
+        if set(run.aborted) != expected_aborted:
+            mismatches.append(
+                f"aborted: expected {sorted(expected_aborted)}, "
+                f"replayed {sorted(run.aborted)}"
+            )
+    return ReplayReport(
+        run=run, matches=not mismatches, mismatches=tuple(mismatches)
+    )

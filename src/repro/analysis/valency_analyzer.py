@@ -78,7 +78,7 @@ class ValencyAnalyzer:
     def _propagate(self) -> Dict[Configuration, FrozenSet[Value]]:
         """Backward fixpoint of reachable decision sets."""
         sets: Dict[Configuration, Set[Value]] = {}
-        for config in self.graph.configurations:
+        for config in self.graph.order:
             sets[config] = set(config.decisions().values())
 
         # Iterate to fixpoint. Process in reverse-BFS order for speed
@@ -86,7 +86,7 @@ class ValencyAnalyzer:
         changed = True
         while changed:
             changed = False
-            for config in self.graph.configurations:
+            for config in self.graph.order:
                 merged = sets[config]
                 before = len(merged)
                 for _edge, successor in self.graph.successors.get(config, []):
@@ -121,7 +121,7 @@ class ValencyAnalyzer:
     def bivalent_configurations(self) -> List[Configuration]:
         return [
             config
-            for config in self.graph.configurations
+            for config in self.graph.order
             if self.label(config) == BIVALENT
         ]
 
@@ -133,7 +133,7 @@ class ValencyAnalyzer:
         steps labelled by the successor's valence.
         """
         reports: List[CriticalReport] = []
-        for config in self.graph.configurations:
+        for config in self.graph.order:
             if self.label(config) != BIVALENT:
                 continue
             edges = self.graph.successors.get(config, [])
@@ -161,7 +161,7 @@ class ValencyAnalyzer:
     def summary(self) -> Dict[str, int]:
         """Counts per valency label over the whole reachable graph."""
         counts: Dict[str, int] = {}
-        for config in self.graph.configurations:
+        for config in self.graph.order:
             label = self.label(config)
             counts[label] = counts.get(label, 0) + 1
         return counts

@@ -8,7 +8,9 @@ Commands:
   render each witness (the executable face of Theorems 4.2 / 5.2);
 * ``separation --n N`` — the Corollary 6.6 pipeline at level N;
 * ``power`` — print the set agreement power table;
-* ``list-candidates`` — name the candidate suite.
+* ``list-candidates`` — name the candidate suite;
+* ``lint`` — the protocol-aware static analysis pass (replayability
+  contract R001–R006, see :mod:`repro.lint`).
 
 Every command exits 0 on "the paper's claim reproduced" and 1
 otherwise, so the CLI doubles as a smoke-check in CI.
@@ -187,6 +189,12 @@ def _cmd_list_candidates(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,6 +229,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-verify and print the implementability ledger at level n",
     )
     ledger.add_argument("--n", type=int, default=2)
+
+    from .lint.cli import add_lint_arguments
+
+    lint = commands.add_parser(
+        "lint",
+        help="protocol-aware static analysis (replayability contract "
+        "R001-R006)",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -232,6 +249,7 @@ _HANDLERS = {
     "power": _cmd_power,
     "list-candidates": _cmd_list_candidates,
     "ledger": _cmd_ledger,
+    "lint": _cmd_lint,
 }
 
 

@@ -66,6 +66,19 @@ class ExplorationBudgetExceeded(AnalysisError):
     """
 
 
+class ReplayDivergenceError(ReproError):
+    """A strict scripted replay diverged from its script.
+
+    Raised by :class:`~repro.objects.base.ScriptedOracle` (and the
+    replay helpers built on it) when a replayed run asks for more
+    choices than the script contains, or when a scripted choice is out
+    of range for the outcomes actually offered. Silent fallback past
+    the end of a counterexample script is exactly how a replayed
+    counterexample stops being the counterexample the explorer found,
+    so strict replays fail loudly instead.
+    """
+
+
 class NotLinearizableError(AnalysisError):
     """A history expected to be linearizable was proven not to be.
 

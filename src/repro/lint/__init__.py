@@ -1,0 +1,43 @@
+"""Protocol-aware static analysis: the replayability contract, enforced.
+
+The reproduction's value rests on replayable adversarial runs — every
+schedule and oracle choice the explorer finds must replay bit-for-bit,
+and protocol programs must confine shared state to ``yield
+Invoke(...)`` steps the way the model assumes. ``repro.lint`` checks
+those invariants mechanically, as six AST rules:
+
+=====  ========  ====================================================
+Rule   Severity  Invariant
+=====  ========  ====================================================
+R001   error     determinism: no global RNG, clocks, ``id()``, or
+                 raw-set iteration in replay-critical code
+R002   error     programs reach shared state only via yield Invoke
+R003   warning   no yield-free unbounded loops in protocol programs
+R004   error     SequentialSpec transitions are pure
+R005   warning   adversaries draw only from constructor-seeded RNGs
+R006   error     Scripted* replay classes support strict replay
+=====  ========  ====================================================
+
+Run ``python -m repro lint`` (or ``repro-lint``); suppress a single
+line with ``# repro: noqa[R00x] justification``. See ``docs/lint.md``.
+"""
+
+from .engine import (
+    Finding,
+    LintReport,
+    ModuleContext,
+    Rule,
+    all_rules,
+    lint_paths,
+    register,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register",
+]

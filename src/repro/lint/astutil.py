@@ -1,0 +1,194 @@
+"""Small AST helpers shared by the lint rules (stdlib ``ast`` only)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+
+def walk_function_body(
+    fn: ast.AST, include_nested: bool = False
+) -> Iterator[ast.AST]:
+    """Walk the nodes that belong to ``fn`` itself.
+
+    By default nested function/class definitions are not descended into
+    — a ``yield`` inside a nested generator belongs to that generator,
+    not to ``fn``.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not include_nested and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def direct_yields(fn: ast.AST) -> List[ast.AST]:
+    """The Yield / YieldFrom nodes belonging directly to ``fn``."""
+    return [
+        node
+        for node in walk_function_body(fn)
+        if isinstance(node, (ast.Yield, ast.YieldFrom))
+    ]
+
+
+def is_program_coroutine(fn: ast.AST) -> bool:
+    """Is ``fn`` a protocol program coroutine?
+
+    Heuristic: a generator that either yields an ``Invoke(...)`` action
+    directly or delegates with ``yield from`` (the idiom for composing
+    program fragments, e.g. embedded scans). Pure value generators —
+    input enumerators, workload streams — yield plain values and no
+    delegation, so they are left alone.
+    """
+    for node in direct_yields(fn):
+        if isinstance(node, ast.YieldFrom):
+            return True
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "Invoke"
+        ):
+            return True
+    return False
+
+
+def local_bindings(fn: ast.AST) -> Set[str]:
+    """Every name bound inside ``fn``: parameters, assignment targets,
+    loop/with/except targets, walruses, imports, nested defs.
+
+    A name in this set is the function's own (or its sanctioned
+    per-process scratchpad passed as a parameter); anything mutated
+    outside it is closed-over or global state.
+    """
+    bound: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            bound.add(arg.arg)
+
+    def bind_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind_target(element)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value)
+        # Attribute / Subscript targets do not bind a new name.
+
+    for node in walk_function_body(fn, include_nested=True):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bind_target(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            bind_target(node.target)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bind_target(node.target)
+        elif isinstance(node, ast.NamedExpr):
+            bind_target(node.target)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bind_target(item.optional_vars)
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name:
+                bound.add(node.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.comprehension,)):
+            bind_target(node.target)
+    return bound
+
+
+def root_name(expr: ast.AST) -> Optional[str]:
+    """The root ``Name`` of an attribute/subscript/call chain, if any.
+
+    ``responses[pid].append`` → ``responses``; ``self.log`` → ``self``.
+    """
+    cursor = expr
+    while isinstance(cursor, (ast.Attribute, ast.Subscript, ast.Call)):
+        cursor = cursor.func if isinstance(cursor, ast.Call) else cursor.value
+    if isinstance(cursor, ast.Name):
+        return cursor.id
+    return None
+
+
+def dotted_call(call: ast.Call) -> Optional[Tuple[str, str]]:
+    """``module.fn(...)`` → ("module", "fn") for plain two-part calls."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None
+
+
+def annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    """Does an annotation denote a set type (``Set[...]``, ``set``, …)?"""
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in {"Set", "FrozenSet", "MutableSet", "AbstractSet"}
+    if isinstance(node, ast.Name):
+        return node.id in {
+            "set",
+            "frozenset",
+            "Set",
+            "FrozenSet",
+            "MutableSet",
+            "AbstractSet",
+        }
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        return any(
+            text.startswith(prefix)
+            for prefix in ("Set[", "FrozenSet[", "set[", "frozenset[")
+        ) or text in {"set", "frozenset"}
+    return False
+
+
+def set_typed_names(module: ast.Module) -> Tuple[Set[str], Set[str]]:
+    """Names and attribute names annotated as sets anywhere in the module.
+
+    Covers variable annotations, dataclass fields (class-body
+    annotations become attribute names), and annotated parameters. Used
+    by R001's set-iteration check; same-module only — the linter does
+    not chase imports.
+    """
+    names: Set[str] = set()
+    attrs: Set[str] = set()
+    for node in ast.walk(module):
+        if isinstance(node, ast.AnnAssign) and annotation_is_set(node.annotation):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+                attrs.add(node.target.id)
+            elif isinstance(node.target, ast.Attribute):
+                attrs.add(node.target.attr)
+        elif isinstance(node, ast.arg) and annotation_is_set(node.annotation):
+            names.add(node.arg)
+    return names, attrs
+
+
+def iteration_sites(fn_or_module: ast.AST) -> Iterator[ast.AST]:
+    """Every expression something iterates over: ``for`` loops and
+    comprehension generators."""
+    for node in ast.walk(fn_or_module):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, ast.comprehension):
+            yield node.iter

@@ -1,0 +1,95 @@
+"""CLI glue for ``python -m repro lint`` / the ``repro-lint`` script.
+
+Exit-code contract (so the linter can gate CI):
+
+* ``0`` — every checked file is clean (suppressed findings included in
+  the report but not the verdict);
+* ``1`` — at least one active finding (any severity) or unparseable
+  file;
+* ``2`` — usage error (unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import all_rules, lint_paths
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package tree — lints itself by default."""
+    return Path(__file__).resolve().parent.parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run, e.g. R001,R006",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by '# repro: noqa[...]'",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.severity:7s}  {rule.title}")
+        return 0
+    paths: List[Path] = [Path(p) for p in args.paths] or [default_target()]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"repro lint: no such path: {path}")
+        return 2
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select
+        else None
+    )
+    try:
+        report = lint_paths(paths, select=select)
+    except ValueError as exc:
+        print(f"repro lint: {exc}")
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text(show_suppressed=args.show_suppressed))
+    return report.exit_code()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Protocol-aware static analysis for the repro library "
+        "(replayability contract R001-R006)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

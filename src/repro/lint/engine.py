@@ -1,0 +1,304 @@
+"""The ``repro.lint`` rule engine: AST walks, findings, suppressions.
+
+The linter enforces the *replayability contract* the bivalency results
+rest on (see ``docs/lint.md`` and the "Replayability contract" section
+of ``docs/model.md``): schedules and oracle choices must replay
+bit-for-bit, protocol programs must confine shared state to
+``yield Invoke(...)`` steps, and sequential specs must stay pure. Each
+invariant is one :class:`Rule`; the engine parses every file once and
+hands the same :class:`ModuleContext` to every registered rule.
+
+Suppressions are inline comments::
+
+    risky_line()  # repro: noqa[R001] justification goes here
+    other_line()  # repro: noqa — suppress every rule on this line
+
+A suppressed finding is dropped from the active list but kept in the
+report (``--show-suppressed`` prints them), so suppressions stay
+auditable. Stdlib-only by design: ``ast`` + ``re``, no new deps.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+#: Severity levels, in increasing order of gravity.
+SEVERITIES = ("warning", "error")
+
+#: Path segments that assign a module its protocol "role". Fixture
+#: trees mirror these segment names so rules scope identically there.
+ROLES = ("protocols", "analysis", "runtime", "objects", "core", "workloads", "lint")
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.rule_id} "
+            f"{self.severity}: {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "file": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one parsed source file."""
+
+    def __init__(self, path: Path, display_path: str, source: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=str(path))
+        self.role: Optional[str] = self._infer_role(path)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @staticmethod
+    def _infer_role(path: Path) -> Optional[str]:
+        role = None
+        for part in path.parts:
+            if part in ROLES:
+                role = part
+        return role
+
+    # -- shared AST services -------------------------------------------------
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """child node → parent node, computed once per module."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        cursor = self.parents.get(node)
+        while cursor is not None:
+            if isinstance(cursor, ast.ClassDef):
+                return cursor
+            cursor = self.parents.get(cursor)
+        return None
+
+    def functions(self) -> Iterator[ast.FunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def classes(self) -> Iterator[ast.ClassDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            message=message,
+        )
+
+    # -- suppressions --------------------------------------------------------
+
+    def suppressions_on(self, line: int) -> Optional[Set[str]]:
+        """Rule ids suppressed on ``line``; empty set = all rules."""
+        if not 1 <= line <= len(self.lines):
+            return None
+        match = _NOQA_RE.search(self.lines[line - 1])
+        if match is None:
+            return None
+        rules = match.group("rules")
+        if rules is None:
+            return set()
+        return {part.strip().upper() for part in rules.split(",") if part.strip()}
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        suppressed = self.suppressions_on(finding.line)
+        if suppressed is None:
+            return False
+        return not suppressed or finding.rule_id in suppressed
+
+
+class Rule:
+    """One protocol-aware invariant, checked module by module.
+
+    Subclasses set ``rule_id``/``severity``/``title`` and implement
+    :meth:`check`. Registration happens via :func:`register`.
+    """
+
+    rule_id: str = "R000"
+    severity: str = "error"
+    title: str = "unnamed rule"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if rule_class.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate lint rule id {rule_class.rule_id}")
+    if rule_class.severity not in SEVERITIES:
+        raise ValueError(
+            f"{rule_class.rule_id}: unknown severity {rule_class.severity!r}"
+        )
+    _REGISTRY[rule_class.rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, in rule-id order."""
+    from . import rules as _rules  # noqa: F401  (import registers the rules)
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def exit_code(self) -> int:
+        """The CLI contract: 0 clean, 1 any active finding."""
+        return 1 if self.findings else 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "findings": [f.as_dict() for f in self.findings],
+                "suppressed": [f.as_dict() for f in self.suppressed],
+                "summary": {
+                    "errors": len(self.errors),
+                    "warnings": len(self.warnings),
+                    "suppressed": len(self.suppressed),
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def render_text(self, show_suppressed: bool = False) -> str:
+        out: List[str] = []
+        for finding in self.findings:
+            out.append(finding.render())
+        if show_suppressed:
+            for finding in self.suppressed:
+                out.append(f"{finding.render()} [suppressed]")
+        out.append(
+            f"{self.files_checked} file(s) checked: "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(out)
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` with the given rules.
+
+    ``select`` restricts the run to the named rule ids. Files are
+    visited in sorted order, so reports are deterministic — the linter
+    holds itself to rule R001.
+    """
+    active_rules = list(rules) if rules is not None else all_rules()
+    if select is not None:
+        wanted = {rule_id.upper() for rule_id in select}
+        unknown = wanted - {rule.rule_id for rule in active_rules}
+        if unknown:
+            raise ValueError(f"unknown lint rule(s): {', '.join(sorted(unknown))}")
+        active_rules = [r for r in active_rules if r.rule_id in wanted]
+    report = LintReport()
+    for file_path in _collect_files([Path(p) for p in paths]):
+        display = _display_path(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            module = ModuleContext(file_path, display, source)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            report.findings.append(
+                Finding(
+                    rule_id="R000",
+                    severity="error",
+                    path=display,
+                    line=getattr(exc, "lineno", 1) or 1,
+                    message=f"file does not parse: {exc}",
+                )
+            )
+            report.files_checked += 1
+            continue
+        report.files_checked += 1
+        for rule in active_rules:
+            for finding in rule.check(module):
+                if module.is_suppressed(finding):
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    report.suppressed.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return report

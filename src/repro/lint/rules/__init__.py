@@ -1,0 +1,23 @@
+"""Rule modules — importing this package registers every rule.
+
+One module per invariant of the replayability contract:
+
+* ``r001_determinism`` — no unseeded randomness, clocks, ``id()`` keys,
+  or raw-set iteration in replay-critical code;
+* ``r002_shared_access`` — protocol programs reach shared state only
+  via ``yield Invoke(...)``;
+* ``r003_wait_freedom`` — no yield-free unbounded loops in programs;
+* ``r004_spec_purity`` — sequential specs are pure transition relations;
+* ``r005_adversary_state`` — seeded adversaries expose reproducible
+  state;
+* ``r006_silent_fallback`` — scripted replays must support strict mode.
+"""
+
+from . import (  # noqa: F401
+    r001_determinism,
+    r002_shared_access,
+    r003_wait_freedom,
+    r004_spec_purity,
+    r005_adversary_state,
+    r006_silent_fallback,
+)

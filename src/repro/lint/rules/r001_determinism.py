@@ -1,0 +1,121 @@
+"""R001 — determinism: schedule replay must survive a process restart.
+
+Scope: modules under ``protocols/``, ``analysis/``, ``runtime/`` — the
+code that produces and replays schedules. Anything whose behaviour can
+differ between two interpreter invocations invalidates a recorded
+counterexample:
+
+* calls on the **module-level RNG** (``random.choice(...)`` etc.) — the
+  global RNG is shared, unseeded, and consumed by whoever runs first;
+  ``random.Random(seed)`` instances are fine;
+* **clock reads** (``time.time()``, ``datetime.now()``, …) — wall-clock
+  values leak into schedules and never replay;
+* ``id(...)`` — CPython addresses differ between runs, so ``id``-keyed
+  maps or sort keys reorder nondeterministically;
+* **iterating a set** (literal, ``set(...)``/``frozenset(...)`` call,
+  or a name/attribute annotated as a set in the same module) — set
+  order depends on ``PYTHONHASHSEED``; iterate ``sorted(...)`` or an
+  insertion-ordered structure instead (the explorer's BFS ``order``
+  list exists for exactly this).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_call, iteration_sites, set_typed_names
+from ..engine import Finding, ModuleContext, Rule, register
+
+_CLOCK_CALLS = {
+    "time": {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+    },
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "R001"
+    severity = "error"
+    title = "replay determinism (no global RNG, clocks, id(), set order)"
+
+    SCOPE = {"protocols", "analysis", "runtime"}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.role not in self.SCOPE:
+            return
+        set_names, set_attrs = set_typed_names(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+        for site in iteration_sites(module.tree):
+            reason = self._set_iteration_reason(site, set_names, set_attrs)
+            if reason is not None:
+                yield module.finding(
+                    self,
+                    site,
+                    f"iteration over {reason}: set order depends on "
+                    f"PYTHONHASHSEED and breaks schedule replay; iterate "
+                    f"sorted(...) or an insertion-ordered structure",
+                )
+
+    def _check_call(
+        self, module: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        dotted = dotted_call(node)
+        if dotted is not None:
+            owner, attr = dotted
+            if owner == "random" and attr != "Random":
+                yield module.finding(
+                    self,
+                    node,
+                    f"random.{attr}() draws from the shared module-level "
+                    f"RNG; use a seeded random.Random instance",
+                )
+            elif owner == "random" and attr == "Random" and not node.args:
+                yield module.finding(
+                    self,
+                    node,
+                    "random.Random() without a seed is nondeterministic; "
+                    "pass an explicit seed",
+                )
+            elif attr in _CLOCK_CALLS.get(owner, ()):
+                yield module.finding(
+                    self,
+                    node,
+                    f"{owner}.{attr}() reads the clock; wall-clock values "
+                    f"never replay bit-for-bit",
+                )
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and node.args
+        ):
+            yield module.finding(
+                self,
+                node,
+                "id(...) values differ between interpreter runs; key on "
+                "stable identities (pids, names) instead",
+            )
+
+    @staticmethod
+    def _set_iteration_reason(site, set_names, set_attrs):
+        if isinstance(site, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(site, ast.Call) and isinstance(site.func, ast.Name):
+            if site.func.id in {"set", "frozenset"}:
+                return f"a {site.func.id}(...) call"
+        if isinstance(site, ast.Name) and site.id in set_names:
+            return f"set-typed name {site.id!r}"
+        if isinstance(site, ast.Attribute) and site.attr in set_attrs:
+            return f"set-typed attribute .{site.attr}"
+        return None

@@ -1,0 +1,132 @@
+"""R002 — shared-access discipline in protocol program coroutines.
+
+Scope: program coroutines (generators yielding ``Invoke`` actions or
+delegating with ``yield from``) in ``protocols/`` modules. The model —
+and every bivalency argument built on it — assumes a process touches
+shared state **only** through ``yield Invoke(...)`` steps, each of which
+costs one scheduler step and is visible to the explorer. A program that
+mutates closed-over or global state, or that reaches a live
+``SharedObject``/oracle directly, performs hidden shared-memory traffic
+the configuration calculus never sees.
+
+Flags, inside a program coroutine:
+
+* ``global`` / ``nonlocal`` declarations;
+* mutation of state that is not bound inside the coroutine itself —
+  mutating method calls (``.append``, ``.update``, …) or subscript /
+  attribute stores whose root is a closed-over name, or ``self`` (the
+  implementation instance is shared by every client process);
+* direct references to ``SharedObject`` or ``*Oracle`` classes — base
+  objects answer through ``yield Invoke(...)``, never by direct call.
+
+The per-operation ``memory`` scratchpad is a parameter, hence locally
+bound, hence sanctioned — that is the model's escape hatch for
+per-process persistent state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import is_program_coroutine, local_bindings, root_name
+from ..engine import Finding, ModuleContext, Rule, register
+
+_MUTATORS = {
+    "append",
+    "add",
+    "update",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "pop",
+    "popitem",
+    "clear",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+
+@register
+class SharedAccessRule(Rule):
+    rule_id = "R002"
+    severity = "error"
+    title = "programs reach shared state only via yield Invoke(...)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.role != "protocols":
+            return
+        for fn in module.functions():
+            if not is_program_coroutine(fn):
+                continue
+            yield from self._check_program(module, fn)
+
+    def _check_program(
+        self, module: ModuleContext, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        bound = local_bindings(fn)
+
+        def is_foreign(root: str) -> bool:
+            # ``self`` is a parameter, but the enclosing instance is
+            # shared across client processes — mutating it is exactly
+            # the hidden channel this rule exists to catch.
+            return root == "self" or root not in bound
+
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                names = ", ".join(node.names)
+                yield module.finding(
+                    self,
+                    node,
+                    f"program coroutine {fn.name!r} declares "
+                    f"{'global' if isinstance(node, ast.Global) else 'nonlocal'}"
+                    f" {names}: shared state must flow through yield "
+                    f"Invoke(...)",
+                )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                ):
+                    root = root_name(func.value)
+                    if root is not None and is_foreign(root):
+                        yield module.finding(
+                            self,
+                            node,
+                            f"program coroutine {fn.name!r} mutates "
+                            f"{'shared instance state on ' if root == 'self' else 'closed-over/global '}"
+                            f"{root!r} via .{func.attr}(...); only "
+                            f"locally-bound state (e.g. the memory "
+                            f"scratchpad) may be mutated outside yield "
+                            f"Invoke(...)",
+                        )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        root = root_name(target.value)
+                        if root is not None and is_foreign(root):
+                            yield module.finding(
+                                self,
+                                node,
+                                f"program coroutine {fn.name!r} stores into "
+                                f"{root!r}, which is not bound inside the "
+                                f"coroutine; shared state must flow through "
+                                f"yield Invoke(...)",
+                            )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id == "SharedObject" or node.id.endswith("Oracle"):
+                    yield module.finding(
+                        self,
+                        node,
+                        f"program coroutine {fn.name!r} references "
+                        f"{node.id}: base objects and oracles must only be "
+                        f"reached through yield Invoke(...)",
+                    )

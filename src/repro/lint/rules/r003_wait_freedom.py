@@ -1,0 +1,87 @@
+"""R003 — wait-freedom hazard: yield-free unbounded loops in programs.
+
+Scope: program coroutines in ``protocols/`` modules. A ``while True``
+(or any constant-true loop) whose body never yields is a local spin:
+the process burns scheduler steps — or worse, hangs the simulator —
+without ever taking a shared-memory step, so neither the explorer nor
+the wait-freedom auditors can see or bound it. Loops that yield inside
+are adversary-visible and fine (their bounds are the protocol's
+business, e.g. the snapshot's pigeonhole argument).
+
+A protocol that is *deliberately* only obstruction-free can mark the
+enclosing class with ``obstruction_free = True`` (or suppress a single
+loop with ``# repro: noqa[R003]`` plus a justification).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import is_program_coroutine, walk_function_body
+from ..engine import Finding, ModuleContext, Rule, register
+
+
+def _is_constant_true(test: ast.AST) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _class_marked_obstruction_free(cls: Optional[ast.ClassDef]) -> bool:
+    if cls is None:
+        return False
+    for statement in cls.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "obstruction_free"
+                    and isinstance(statement.value, ast.Constant)
+                    and statement.value.value is True
+                ):
+                    return True
+        if (
+            isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+            and statement.target.id == "obstruction_free"
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is True
+        ):
+            return True
+    return False
+
+
+@register
+class WaitFreedomRule(Rule):
+    rule_id = "R003"
+    severity = "warning"
+    title = "no yield-free unbounded loops in protocol programs"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.role != "protocols":
+            return
+        for fn in module.functions():
+            if not is_program_coroutine(fn):
+                continue
+            enclosing = module.enclosing_class(fn)
+            if _class_marked_obstruction_free(enclosing):
+                continue
+            for node in walk_function_body(fn):
+                if not isinstance(node, ast.While):
+                    continue
+                if not _is_constant_true(node.test):
+                    continue
+                has_yield = any(
+                    isinstance(inner, (ast.Yield, ast.YieldFrom))
+                    for body_node in node.body
+                    for inner in ast.walk(body_node)
+                )
+                if not has_yield:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"program coroutine {fn.name!r} spins in a "
+                        f"constant-true loop with no yield: the loop takes "
+                        f"no shared-memory steps, so wait-freedom auditors "
+                        f"cannot bound it (mark the class obstruction_free "
+                        f"= True if this liveness class is intended)",
+                    )

@@ -1,0 +1,135 @@
+"""R004 — spec purity: sequential specs are pure transition relations.
+
+Scope: classes that directly subclass ``SequentialSpec``, anywhere.
+Three consumers replay the same ``responses(state, operation)``
+relation — the runtime, the explorer, and the linearizability checker —
+and they agree only if the relation is a pure function of its inputs.
+Nondeterminism is expressed by returning *multiple* outcomes, never by
+flipping coins inside the transition:
+
+* mutating the input ``state`` corrupts sibling configurations that
+  share the (supposedly immutable, hashable) value;
+* I/O (``print``/``open``/``input``) inside a transition makes spec
+  evaluation observable and order-dependent;
+* randomness inside a transition hides an adversary choice from the
+  explorer — that choice must instead appear as an extra ``Outcome``.
+
+Checked methods: ``initial_state`` and ``responses``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import root_name
+from ..engine import Finding, ModuleContext, Rule, register
+
+_IO_CALLS = {"print", "open", "input"}
+_MUTATORS = {
+    "append",
+    "add",
+    "update",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "pop",
+    "popitem",
+    "clear",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+
+def _base_names(cls: ast.ClassDef):
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            yield base.id
+        elif isinstance(base, ast.Attribute):
+            yield base.attr
+
+
+@register
+class SpecPurityRule(Rule):
+    rule_id = "R004"
+    severity = "error"
+    title = "SequentialSpec transitions are pure (no mutation, I/O, RNG)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for cls in module.classes():
+            if "SequentialSpec" not in set(_base_names(cls)):
+                continue
+            for statement in cls.body:
+                if not isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if statement.name not in {"responses", "initial_state"}:
+                    continue
+                yield from self._check_method(module, cls, statement)
+
+    def _state_param(self, method: ast.FunctionDef) -> Optional[str]:
+        # responses(self, state, operation): the state is arg #2.
+        if method.name != "responses":
+            return None
+        args = method.args.args
+        if len(args) >= 2:
+            return args[1].arg
+        return None
+
+    def _check_method(
+        self, module: ModuleContext, cls: ast.ClassDef, method: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        state_name = self._state_param(method)
+        where = f"{cls.name}.{method.name}"
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id in _IO_CALLS:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"{where} performs I/O ({func.id}); spec transitions "
+                        f"must be pure",
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                    and state_name is not None
+                    and root_name(func.value) == state_name
+                ):
+                    yield module.finding(
+                        self,
+                        node,
+                        f"{where} mutates the input state via "
+                        f".{func.attr}(...); states are shared immutable "
+                        f"values — build a new state instead",
+                    )
+            elif isinstance(node, ast.Name) and node.id == "random":
+                yield module.finding(
+                    self,
+                    node,
+                    f"{where} draws randomness; nondeterminism must be "
+                    f"expressed as multiple Outcome entries, not coin flips",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, (ast.Attribute, ast.Subscript))
+                        and state_name is not None
+                        and root_name(target.value) == state_name
+                    ):
+                        yield module.finding(
+                            self,
+                            node,
+                            f"{where} stores into the input state; states "
+                            f"are shared immutable values — build a new "
+                            f"state instead",
+                        )

@@ -1,0 +1,109 @@
+"""R005 — adversary statefulness: seeded adversaries, reproducible runs.
+
+Scope: classes that directly subclass ``Scheduler`` or
+``ResponseOracle``, anywhere — the two halves of the paper's adversary.
+Every run used as evidence must be reconstructible from (seed, script)
+alone, so an adversary may only draw randomness from an RNG it
+constructed from an explicit seed:
+
+* calls on the **module-level RNG** (``random.choice`` etc.) share
+  hidden global state with every other caller in the process;
+* ``random.Random()`` with no seed differs on every construction;
+* RNG instances at **module scope** are shared across adversary
+  instances, so two "independent" adversaries consume each other's
+  streams;
+* clock reads make the adversary's choices time-dependent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..astutil import dotted_call
+from ..engine import Finding, ModuleContext, Rule, register
+
+_CLOCK_OWNERS = {"time", "datetime", "date"}
+
+
+def _base_names(cls: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+@register
+class AdversaryStateRule(Rule):
+    rule_id = "R005"
+    severity = "warning"
+    title = "schedulers/oracles draw only from constructor-seeded RNGs"
+
+    BASES = {"Scheduler", "ResponseOracle"}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        adversary_classes = [
+            cls
+            for cls in module.classes()
+            if _base_names(cls) & self.BASES
+        ]
+        if not adversary_classes:
+            return
+        for cls in adversary_classes:
+            yield from self._check_class(module, cls)
+        # Module-level RNGs in a module that defines adversaries are
+        # shared across instances — a hidden channel between runs.
+        for statement in module.tree.body:
+            if isinstance(statement, ast.Assign) and self._is_rng_call(
+                statement.value
+            ):
+                yield module.finding(
+                    self,
+                    statement,
+                    "module-level random.Random(...) instance is shared by "
+                    "every adversary in the process; construct the RNG from "
+                    "a seed in __init__ instead",
+                )
+
+    @staticmethod
+    def _is_rng_call(value: ast.AST) -> bool:
+        return (
+            isinstance(value, ast.Call)
+            and dotted_call(value) == ("random", "Random")
+        )
+
+    def _check_class(
+        self, module: ModuleContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_call(node)
+            if dotted is None:
+                continue
+            owner, attr = dotted
+            if owner == "random" and attr != "Random":
+                yield module.finding(
+                    self,
+                    node,
+                    f"{cls.name} draws from the module-level RNG "
+                    f"(random.{attr}); adversaries must use a "
+                    f"constructor-seeded random.Random instance",
+                )
+            elif owner == "random" and attr == "Random" and not node.args:
+                yield module.finding(
+                    self,
+                    node,
+                    f"{cls.name} constructs random.Random() without a seed; "
+                    f"runs driven by this adversary cannot be reproduced",
+                )
+            elif owner in _CLOCK_OWNERS:
+                yield module.finding(
+                    self,
+                    node,
+                    f"{cls.name} reads the clock ({owner}.{attr}); adversary "
+                    f"choices must depend only on (seed, observed run)",
+                )

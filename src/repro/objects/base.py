@@ -24,7 +24,7 @@ import random
 from abc import ABC, abstractmethod
 from typing import Hashable, List, Optional, Sequence
 
-from ..errors import InvalidOperationError
+from ..errors import InvalidOperationError, ReplayDivergenceError
 from ..types import Operation, Value
 from .spec import Outcome, SequentialSpec
 
@@ -61,15 +61,26 @@ class SeededOracle(ResponseOracle):
 
 
 class ScriptedOracle(ResponseOracle):
-    """Replays an explicit list of choices, then falls back to 0.
+    """Replays an explicit list of choices.
 
     The explorer reports counterexample schedules as (process, choice)
     sequences; this oracle replays the choice half of such a schedule.
+
+    Replay discipline matters here: a replayed counterexample that
+    silently degrades to outcome 0 past the end of its script (or on an
+    out-of-range entry) is no longer the counterexample the explorer
+    found. With ``strict=True`` the oracle raises
+    :class:`~repro.errors.ReplayDivergenceError` the moment the script
+    cannot answer; with ``strict=False`` it falls back to outcome 0 but
+    *records* the divergence, so callers can still audit the run via
+    :attr:`fallbacks` / :attr:`diverged`.
     """
 
-    def __init__(self, choices: Sequence[int]) -> None:
+    def __init__(self, choices: Sequence[int], strict: bool = False) -> None:
         self._choices: List[int] = list(choices)
         self._cursor = 0
+        self._strict = strict
+        self._fallbacks = 0
 
     def choose(
         self, obj_name: str, operation: Operation, outcomes: Sequence[Outcome]
@@ -79,12 +90,36 @@ class ScriptedOracle(ResponseOracle):
             self._cursor += 1
             if 0 <= choice < len(outcomes):
                 return choice
+            if self._strict:
+                raise ReplayDivergenceError(
+                    f"scripted choice {choice} at position {self._cursor - 1} "
+                    f"is out of range for {operation} on {obj_name!r} "
+                    f"({len(outcomes)} outcomes)"
+                )
+            self._fallbacks += 1
+            return 0
+        if self._strict:
+            raise ReplayDivergenceError(
+                f"choice script exhausted after {len(self._choices)} entries; "
+                f"{operation} on {obj_name!r} has no scripted answer"
+            )
+        self._fallbacks += 1
         return 0
 
     @property
     def exhausted(self) -> bool:
         """True once every scripted choice has been consumed."""
         return self._cursor >= len(self._choices)
+
+    @property
+    def fallbacks(self) -> int:
+        """How many times a non-strict replay fell back to outcome 0."""
+        return self._fallbacks
+
+    @property
+    def diverged(self) -> bool:
+        """True if any choice was answered off-script (non-strict mode)."""
+        return self._fallbacks > 0
 
 
 class MinimizingOracle(ResponseOracle):

@@ -112,6 +112,7 @@ class ScriptedScheduler(Scheduler):
         self._cursor = 0
         self._strict = strict
         self._fallback = RoundRobinScheduler()
+        self._fallbacks = 0
 
     def choose(self, enabled: Sequence[ProcessId], step_index: int) -> ProcessId:
         if self._cursor < len(self._schedule):
@@ -124,14 +125,26 @@ class ScriptedScheduler(Scheduler):
                     f"scripted schedule names process {pid} at position "
                     f"{self._cursor - 1}, but it is not enabled"
                 )
+            self._fallbacks += 1
             return self._fallback.choose(enabled, step_index)
         if self._strict:
             raise SchedulingError("scripted schedule exhausted")
+        self._fallbacks += 1
         return self._fallback.choose(enabled, step_index)
 
     @property
     def exhausted(self) -> bool:
         return self._cursor >= len(self._schedule)
+
+    @property
+    def fallbacks(self) -> int:
+        """How many times a non-strict replay left the script."""
+        return self._fallbacks
+
+    @property
+    def diverged(self) -> bool:
+        """True if any choice was answered off-script (non-strict mode)."""
+        return self._fallbacks > 0
 
 
 class BlockingScheduler(Scheduler):

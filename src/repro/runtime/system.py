@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from ..errors import ProtocolError, SchedulingError
+from ..errors import InvalidOperationError, ProtocolError, SchedulingError
 from ..objects.base import FirstOutcomeOracle, ResponseOracle, SharedObject
 from ..objects.spec import SequentialSpec
 from ..types import ProcessId, Value
@@ -131,6 +131,11 @@ class System:
             choice = 0
         else:
             choice = obj.oracle.choose(obj.name, action.operation, outcomes)
+            if not 0 <= choice < len(outcomes):
+                raise InvalidOperationError(
+                    f"oracle chose outcome {choice} of {len(outcomes)} "
+                    f"for {action.operation} on {obj.name!r}"
+                )
         obj.state, response = outcomes[choice]
         status.local_state = status.automaton.transition(
             status.local_state, response

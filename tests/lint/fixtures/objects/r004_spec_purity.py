@@ -1,0 +1,23 @@
+"""Fixture: R004 spec purity violations in a SequentialSpec subclass.
+
+This file is linted, never imported.
+"""
+
+import random
+
+from repro.objects.spec import SequentialSpec
+
+
+class ImpureSpec(SequentialSpec):
+    kind = "impure"
+
+    def initial_state(self):
+        print("creating state")  # R004: I/O inside a spec
+        return []
+
+    def responses(self, state, operation):
+        state.append(operation)  # R004: mutating the input state
+        state[0] = operation  # R004: storing into the input state
+        if random.random() < 0.5:  # R004: randomness inside the relation
+            return [(tuple(state), 0)]
+        return [(tuple(state), 1)]

@@ -1,0 +1,27 @@
+"""Fixture: a well-behaved protocol module — must produce zero findings.
+
+This file is linted, never imported. Everything here follows the
+replayability contract: shared state flows through ``yield
+Invoke(...)``, loops are bounded or yield inside, mutation touches only
+locally-bound values and the sanctioned ``memory`` scratchpad.
+"""
+
+from repro.runtime.events import Invoke
+from repro.types import op
+
+
+def well_behaved_program(pid, value, memory):
+    view = []
+    response = yield Invoke(f"REG{pid}", op("write", value))
+    view.append(response)
+    for index in sorted(range(3)):
+        cell = yield Invoke(f"REG{index}", op("read"))
+        view.append(cell)
+    memory["last_view"] = tuple(view)
+    attempts = 0
+    while attempts < 3:
+        winner = yield Invoke("CONS", op("propose", value))
+        if winner is not None:
+            return winner
+        attempts += 1
+    return value

@@ -1,0 +1,31 @@
+"""Fixture: every R001 determinism hazard in one protocols-role module.
+
+This file is linted, never imported — it exists so the rule's own test
+can assert each hazard is flagged.
+"""
+
+import random
+import time
+
+
+def pick_winner(enabled):
+    return random.choice(sorted(enabled))  # R001: module-level RNG
+
+
+def timestamp_schedule(schedule):
+    return (time.time(), tuple(schedule))  # R001: clock read
+
+
+def key_by_identity(objects):
+    return {id(obj): obj for obj in objects}  # R001: id() keys
+
+
+def first_decision(decisions: set):
+    for value in decisions:  # R001: iterating a set-typed name
+        return value
+    return None
+
+
+def fan_out():
+    for pid in {0, 1, 2}:  # R001: iterating a set literal
+        yield pid

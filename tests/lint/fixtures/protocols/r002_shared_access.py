@@ -1,0 +1,28 @@
+"""Fixture: R002 shared-access violations in protocol program coroutines.
+
+This file is linted, never imported — syntactic shapes only.
+"""
+
+from repro.runtime.events import Invoke
+from repro.types import op
+
+tally = {}
+
+
+def make_program(history):
+    def program(pid, value):
+        global tally  # R002: global declaration in a program
+        response = yield Invoke("C", op("propose", value))
+        history.append(response)  # R002: mutating closed-over state
+        tally[pid] = response  # R002: storing into global state
+        return response
+
+    return program
+
+
+class LeakyImplementation:
+    def operation_program(self, pid, operation, memory):
+        winner = yield Invoke("CONS0", op("propose", (pid, operation)))
+        self.cache = winner  # R002: mutating the shared instance
+        memory["seen"] = winner  # fine: memory is the sanctioned scratchpad
+        return winner

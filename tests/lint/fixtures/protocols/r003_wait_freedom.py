@@ -1,0 +1,28 @@
+"""Fixture: R003 wait-freedom hazard — yield-free constant-true loops.
+
+This file is linted, never imported.
+"""
+
+from repro.runtime.events import Invoke
+from repro.types import op
+
+
+def spinning_program(pid):
+    response = yield Invoke("R", op("read"))
+    while True:  # R003: constant-true loop with no yield inside
+        if response is not None:
+            break
+    return response
+
+
+class MarkedObstructionFree:
+    """Deliberately obstruction-free: the marker silences R003."""
+
+    obstruction_free = True
+
+    def program(self, pid):
+        status = yield Invoke("R", op("read"))
+        while True:  # not flagged: the class is marked obstruction_free
+            if status:
+                break
+        return status

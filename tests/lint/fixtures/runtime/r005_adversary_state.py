@@ -1,0 +1,20 @@
+"""Fixture: R005 adversary statefulness violations.
+
+This file is linted, never imported. The module-level RNG, the unseeded
+instance, and the global draw are each a way for two runs with the same
+seed to diverge. (R001 also fires here — the roles overlap by design.)
+"""
+
+import random
+
+from repro.runtime.scheduler import Scheduler
+
+_SHARED_RNG = random.Random(7)  # R005: module-level RNG shared by instances
+
+
+class HotScheduler(Scheduler):
+    def __init__(self):
+        self._rng = random.Random()  # R005: unseeded RNG
+
+    def choose(self, enabled, step_index):
+        return random.choice(sorted(enabled))  # R005: module-level RNG draw

@@ -1,0 +1,22 @@
+"""Fixture: R006 silent fallback — a Scripted* replay with no strict mode.
+
+This file is linted, never imported. The class replays a script and
+silently improvises when it runs out — the exact shape that turns a
+replayed counterexample into a different run.
+"""
+
+
+class ScriptedChaosScheduler:
+    """Replays a pid script, then quietly falls back to lowest-pid."""
+
+    def __init__(self, script):  # R006: no strict parameter
+        self._script = list(script)
+        self._cursor = 0
+
+    def choose(self, enabled, step_index):
+        if self._cursor < len(self._script):
+            pid = self._script[self._cursor]
+            self._cursor += 1
+            if pid in enabled:
+                return pid
+        return sorted(enabled)[0]  # degrades silently; class never raises

@@ -1,0 +1,80 @@
+"""Per-rule fixture tests: each fixture must be flagged by its rule.
+
+The fixtures under ``tests/lint/fixtures/`` are the linter's own
+self-test: one deliberately broken module per rule (each hazard on a
+known line) and one clean module that must produce zero findings.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(relative, rule_id=None):
+    report = lint_paths([FIXTURES / relative])
+    if rule_id is None:
+        return report.findings
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize(
+        "relative, rule_id, expected_lines",
+        [
+            ("protocols/r001_determinism.py", "R001", {12, 16, 20, 24, 30}),
+            ("protocols/r002_shared_access.py", "R002", {14, 16, 17, 26}),
+            ("protocols/r003_wait_freedom.py", "R003", {12}),
+            ("objects/r004_spec_purity.py", "R004", {15, 19, 20, 21}),
+            ("runtime/r005_adversary_state.py", "R005", {12, 17, 20}),
+            ("runtime/r006_silent_fallback.py", "R006", {9, 12}),
+        ],
+    )
+    def test_fixture_is_flagged(self, relative, rule_id, expected_lines):
+        flagged = findings_for(relative, rule_id)
+        assert flagged, f"{relative} produced no {rule_id} findings"
+        assert {f.line for f in flagged} == expected_lines
+
+    def test_clean_fixture_passes(self):
+        assert findings_for("protocols/clean.py") == []
+
+    def test_fixture_tree_fails_overall(self):
+        report = lint_paths([FIXTURES])
+        assert report.exit_code() == 1
+        assert report.errors and report.warnings
+
+    def test_every_rule_has_a_fixture_catch(self):
+        report = lint_paths([FIXTURES])
+        seen = {f.rule_id for f in report.findings}
+        assert {"R001", "R002", "R003", "R004", "R005", "R006"} <= seen
+
+
+class TestRuleScoping:
+    def test_r001_ignores_out_of_scope_roles(self):
+        # The same hazards in an objects-role file are R001-silent
+        # (R004 has its own purity take on randomness there).
+        flagged = findings_for("objects/r004_spec_purity.py", "R001")
+        assert flagged == []
+
+    def test_r003_respects_obstruction_free_marker(self):
+        flagged = findings_for("protocols/r003_wait_freedom.py", "R003")
+        # Only the unmarked program is flagged, not MarkedObstructionFree.
+        assert len(flagged) == 1
+
+    def test_r002_allows_memory_scratchpad(self):
+        flagged = findings_for("protocols/r002_shared_access.py", "R002")
+        # memory["seen"] = winner (line 27) is sanctioned.
+        assert 27 not in {f.line for f in flagged}
+
+    def test_severities(self):
+        report = lint_paths([FIXTURES])
+        by_rule = {f.rule_id: f.severity for f in report.findings}
+        assert by_rule["R001"] == "error"
+        assert by_rule["R002"] == "error"
+        assert by_rule["R003"] == "warning"
+        assert by_rule["R004"] == "error"
+        assert by_rule["R005"] == "warning"
+        assert by_rule["R006"] == "error"

@@ -1,0 +1,29 @@
+"""The shipped ``repro`` package must be lint-clean under its own rules.
+
+This is the acceptance gate the CI job enforces: any new determinism or
+shared-access hazard introduced into ``src/repro`` fails this test
+before it can corrupt an exploration or replay.
+"""
+
+import repro
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+PACKAGE_DIR = Path(repro.__file__).parent
+
+
+def test_repro_package_is_lint_clean():
+    report = lint_paths([PACKAGE_DIR])
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.findings == [], f"lint findings in shipped package:\n{rendered}"
+
+
+def test_suppressions_in_package_are_audited():
+    # Every in-tree suppression is deliberate; this pins the count so a
+    # drive-by ``# repro: noqa`` shows up in review.
+    report = lint_paths([PACKAGE_DIR])
+    assert len(report.suppressed) == 1
+    (finding,) = report.suppressed
+    assert finding.rule_id == "R002"
+    assert finding.path.endswith("implementation.py")

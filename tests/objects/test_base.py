@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import InvalidOperationError
+from repro.errors import InvalidOperationError, ReplayDivergenceError
 from repro.objects.base import (
     FirstOutcomeOracle,
     MaximizingOracle,
@@ -70,6 +70,40 @@ class TestOracles:
         obj.apply(op("propose", "b"))  # two outcomes: script picks index 1
         assert oracle.exhausted
         assert obj.apply(op("propose", "c")) == "a"  # fallback 0
+
+    def test_scripted_oracle_counts_fallbacks(self):
+        oracle = ScriptedOracle([1])
+        obj = make_sa(oracle)
+        obj.apply(op("propose", "a"))
+        obj.apply(op("propose", "b"))  # consumes the script
+        assert not oracle.diverged
+        obj.apply(op("propose", "c"))  # exhausted -> silent 0
+        assert oracle.diverged
+        assert oracle.fallbacks == 1
+
+    def test_strict_scripted_oracle_raises_on_exhaustion(self):
+        oracle = ScriptedOracle([1], strict=True)
+        obj = make_sa(oracle)
+        obj.apply(op("propose", "a"))
+        obj.apply(op("propose", "b"))
+        with pytest.raises(ReplayDivergenceError, match="exhausted"):
+            obj.apply(op("propose", "c"))
+        assert oracle.fallbacks == 0
+
+    def test_strict_scripted_oracle_raises_on_out_of_range(self):
+        oracle = ScriptedOracle([7], strict=True)
+        obj = make_sa(oracle)
+        obj.apply(op("propose", "a"))
+        with pytest.raises(ReplayDivergenceError, match="out of range"):
+            obj.apply(op("propose", "b"))
+
+    def test_lenient_out_of_range_counts_as_fallback(self):
+        oracle = ScriptedOracle([7])
+        obj = make_sa(oracle)
+        obj.apply(op("propose", "a"))
+        assert obj.apply(op("propose", "b")) == "a"  # clamped to outcome 0
+        assert oracle.diverged
+        assert oracle.fallbacks == 1
 
     def test_seeded_oracle_is_reproducible(self):
         def run(seed):

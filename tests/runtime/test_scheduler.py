@@ -85,6 +85,22 @@ class TestScripted:
         assert scheduler.choose([0, 1], 0) in (0, 1)
         assert scheduler.choose([0, 1], 1) in (0, 1)
 
+    def test_lenient_counts_fallbacks(self):
+        scheduler = ScriptedScheduler([5], strict=False)
+        assert not scheduler.diverged
+        scheduler.choose([0, 1], 0)  # scripted pid not enabled
+        scheduler.choose([0, 1], 1)  # script exhausted
+        assert scheduler.diverged
+        assert scheduler.fallbacks == 2
+
+    def test_faithful_replay_never_diverges(self):
+        scheduler = ScriptedScheduler([1, 0], strict=False)
+        scheduler.choose([0, 1], 0)
+        scheduler.choose([0, 1], 1)
+        assert scheduler.exhausted
+        assert not scheduler.diverged
+        assert scheduler.fallbacks == 0
+
 
 class TestBlocking:
     def test_suppresses_victims(self):
