@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench experiments examples lint verify clean
+.PHONY: install test bench bench-perf experiments examples lint verify clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,14 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Refresh the machine-readable perf baseline (BENCH_perf.json).
+# REPRO_PERF_SCALE=tiny shrinks the instances (CI smoke).
+bench-perf:
+	pytest benchmarks/bench_perf_core.py benchmarks/bench_perf_substrates.py \
+		--benchmark-disable -q
+	@echo "--- BENCH_perf.json ---"
+	@cat BENCH_perf.json
 
 # Regenerate EXPERIMENTS.md's source rows (benchmarks/results.log).
 experiments:

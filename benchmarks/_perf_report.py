@@ -1,0 +1,67 @@
+"""Machine-readable performance baseline: ``BENCH_perf.json``.
+
+The perf benches (``bench_perf_core.py``, ``bench_perf_substrates.py``)
+record one entry each via :func:`record` — wall time, configs/sec,
+graph sizes, symmetry-reduction ratios. The file at the repo root is
+read-modify-written, so running a subset of the benches refreshes only
+their entries; the trajectory stays machine-comparable from PR to PR
+(see ``docs/performance.md`` for how to read it).
+
+``REPRO_PERF_SCALE=tiny`` shrinks the instances (CI smoke keeps the
+reporter and the reduction paths exercised without paying full-scale
+wall time); entries are tagged with the scale they were measured at so
+tiny-scale numbers are never mistaken for the tracked baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Tuple
+
+_JSON_PATH = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_perf.json")
+)
+
+
+def perf_scale() -> str:
+    """``full`` (default) or ``tiny`` (CI smoke)."""
+    return os.environ.get("REPRO_PERF_SCALE", "full")
+
+
+def timed(fn: Callable[[], object], repeats: int = 5) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall time for ``fn`` plus its last result.
+
+    Best-of is the right statistic for a baseline: it approximates the
+    cost with the least scheduler noise on top.
+    """
+    best = float("inf")
+    result: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def record(name: str, **fields: object) -> None:
+    """Merge one bench entry into ``BENCH_perf.json``."""
+    data = {}
+    if os.path.exists(_JSON_PATH):
+        try:
+            with open(_JSON_PATH, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    entries = data.setdefault("entries", {})
+    entry = dict(fields)
+    entry["scale"] = perf_scale()
+    entries[name] = entry
+    data["schema"] = 1
+    data["updated_unix"] = int(time.time())
+    with open(_JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -2,22 +2,27 @@
 
 Complements ``bench_perf_core.py``: the Afek snapshot implementation,
 obstruction-free consensus exploration, the valency analyzer's fixpoint,
-and the paper-ledger assembly.
+symmetry-reduced exploration, and the paper-ledger assembly. The
+headline benches record machine-readable entries into
+``BENCH_perf.json`` via :mod:`benchmarks._perf_report`
+(``REPRO_PERF_SCALE=tiny`` shrinks them for the CI smoke job).
 """
 
 import pytest
 
+from _perf_report import perf_scale, record, timed
 from repro.analysis.explorer import Explorer
 from repro.analysis.valency_analyzer import ValencyAnalyzer
 from repro.core.pac import NPacSpec
 from repro.core.relations import paper_ledger
-from repro.protocols.dac_from_pac import algorithm2_processes
+from repro.protocols.dac_from_pac import algorithm2_processes, algorithm2_symmetry
 from repro.protocols.implementation import check_implementation
 from repro.protocols.obstruction_free import (
     adopt_commit_round_objects,
     obstruction_free_processes,
 )
 from repro.protocols.snapshot import AfekSnapshotImplementation
+from repro.protocols.tasks import DacDecisionTask
 from repro.runtime.scheduler import SeededScheduler
 from repro.workloads.generators import snapshot_workloads
 
@@ -39,13 +44,23 @@ class TestSnapshotPerf:
 
 class TestObstructionFreePerf:
     def test_bench_of_exploration(self, benchmark):
+        rounds = 1 if perf_scale() == "tiny" else 2
+
         def run():
             explorer = Explorer(
-                adopt_commit_round_objects(2, 2),
-                obstruction_free_processes((0, 1), max_rounds=2),
+                adopt_commit_round_objects(2, rounds),
+                obstruction_free_processes((0, 1), max_rounds=rounds),
             )
             return explorer.explore(max_configurations=400_000)
 
+        wall, graph = timed(run, repeats=3)
+        record(
+            "obstruction_free_exploration",
+            rounds=rounds,
+            configurations=len(graph),
+            wall_seconds=wall,
+            configs_per_sec=len(graph) / wall,
+        )
         graph = benchmark(run)
         assert graph.complete
 
@@ -59,8 +74,63 @@ class TestValencyAnalyzerPerf:
         def run():
             return ValencyAnalyzer(explorer)
 
+        wall, analyzer = timed(run)
+        record(
+            "valency_analyzer_fixpoint",
+            n=3,
+            configurations=len(analyzer.graph),
+            wall_seconds=wall,
+        )
         analyzer = benchmark(run)
         assert analyzer.summary()
+
+
+class TestSymmetryReductionPerf:
+    def test_bench_symmetry_reduction(self, benchmark):
+        # Tracks how much the quotient construction buys on the E18
+        # state-space instance: full vs reduced graph size, plus the
+        # guarantee that the quotient preserves the decision set.
+        n = 3 if perf_scale() == "tiny" else 4
+        inputs = DacDecisionTask.paper_initial_inputs(n)
+        symmetry = algorithm2_symmetry(inputs)
+        assert symmetry is not None
+
+        def run_full():
+            explorer = Explorer(
+                {"PAC": NPacSpec(n)}, algorithm2_processes(inputs)
+            )
+            return explorer, explorer.explore()
+
+        def run_reduced():
+            explorer = Explorer(
+                {"PAC": NPacSpec(n)}, algorithm2_processes(inputs)
+            )
+            return explorer, explorer.explore(symmetry=symmetry)
+
+        full_wall, (full_explorer, full) = timed(run_full, repeats=3)
+        reduced_wall, (reduced_explorer, reduced) = timed(run_reduced, repeats=3)
+        full_decisions = full_explorer.decision_table(exploration=full)[
+            full.order_ids[0]
+        ]
+        reduced_decisions = reduced_explorer.decision_table(
+            exploration=reduced
+        )[reduced.order_ids[0]]
+        record(
+            "symmetry_reduction_algorithm2",
+            n=n,
+            inputs=list(inputs),
+            full_configurations=len(full),
+            reduced_configurations=len(reduced),
+            reduction_ratio=len(full) / len(reduced),
+            full_wall_seconds=full_wall,
+            reduced_wall_seconds=reduced_wall,
+            decision_sets_equal=full_decisions == reduced_decisions,
+        )
+        assert len(reduced) < len(full)
+        assert full_decisions == reduced_decisions
+
+        _explorer, graph = benchmark(run_reduced)
+        assert graph.complete
 
 
 class TestLedgerPerf:

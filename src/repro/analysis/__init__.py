@@ -5,7 +5,10 @@
 * :mod:`repro.analysis.valency` — the FLP/bivalency calculus, computed;
 * :mod:`repro.analysis.linearizability` — Wing–Gong linearizability
   checking against any sequential spec;
-* :mod:`repro.analysis.properties` — per-run auditors for simulations.
+* :mod:`repro.analysis.properties` — per-run auditors for simulations;
+* :mod:`repro.analysis.intern` / :mod:`repro.analysis.symmetry` — the
+  fast-core substrate: dense configuration interning and opt-in
+  symmetry reduction (see ``docs/performance.md``).
 """
 
 from .commuting import (
@@ -22,6 +25,8 @@ from .explorer import (
     Livelock,
     SafetyCounterexample,
 )
+from .intern import InternTable
+from .symmetry import ProcessSymmetry, groups_by_input
 from .linearizability import (
     LinearizabilityChecker,
     LinearizabilityVerdict,
@@ -69,7 +74,10 @@ __all__ = [
     "ExplorationResult",
     "Explorer",
     "InitialValencyReport",
+    "InternTable",
     "Livelock",
+    "ProcessSymmetry",
+    "groups_by_input",
     "PhaseOutcome",
     "SuiteVerdict",
     "LinearizabilityChecker",

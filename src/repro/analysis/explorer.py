@@ -23,6 +23,32 @@ On top of the raw graph the explorer offers:
 
 Valency computations live in :mod:`repro.analysis.valency`, built on
 :meth:`Explorer.decision_values`.
+
+Fast core
+---------
+
+The explorer is the hot path of every exhaustive verdict, so its
+bookkeeping is built on three layers (see ``docs/performance.md``):
+
+* **interning** — every configuration is mapped to a dense int id by a
+  per-explorer :class:`~repro.analysis.intern.InternTable`; BFS state
+  (visited set, parent pointers, adjacency) is int-keyed, and each
+  configuration's hash is computed once and cached on the instance;
+* **successor memoization** — the successor relation is cached per
+  interned id (plus per-automaton action/transition caches and
+  per-spec outcome caches), so :meth:`step`, :meth:`find_livelock`,
+  :meth:`solo_termination` and the valency machinery never re-derive
+  edges an earlier traversal already produced;
+* **symmetry reduction** (opt-in) — :meth:`explore` accepts a
+  :class:`~repro.analysis.symmetry.ProcessSymmetry` and then walks only
+  canonical representatives of process-permutation orbits; witness
+  schedules are mapped back through the accumulated permutations so
+  they replay bit-for-bit on the *unreduced* system.
+
+In unreduced mode all results are bit-identical to the naive
+calculus: ``ExplorationResult.order`` is BFS discovery order, and
+every analysis that selects a witness iterates that order, never a
+hash-seeded set (lint rule R001).
 """
 
 from __future__ import annotations
@@ -39,6 +65,7 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    TYPE_CHECKING,
 )
 
 from ..errors import AnalysisError, ExplorationBudgetExceeded
@@ -47,11 +74,18 @@ from ..runtime.events import Abort, Decide, Halt, Invoke
 from ..runtime.process import ProcessAutomaton
 from ..types import ProcessId, Value
 from ..protocols.tasks import DecisionTask, SafetyVerdict
+from .intern import InternTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .symmetry import ProcessSymmetry
 
 #: Process status encodings inside a configuration (hashable tuples).
 RUNNING = ("running",)
 HALTED = ("halted",)
 ABORTED = ("aborted",)
+
+#: A process permutation: ``perm[i]`` is the new pid of old pid ``i``.
+Permutation = Tuple[int, ...]
 
 
 def _decided(value: Value) -> Tuple[str, Value]:
@@ -70,6 +104,19 @@ class Configuration:
     process_states: Tuple[Hashable, ...]
     statuses: Tuple[Tuple, ...]
     object_states: Tuple[Hashable, ...]
+
+    def __hash__(self) -> int:
+        # Configurations are hashed constantly (intern table, result
+        # views); the deep tuple hash is computed once and cached on
+        # the instance. Sound because the dataclass is frozen.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            digest = hash(
+                (self.process_states, self.statuses, self.object_states)
+            )
+            object.__setattr__(self, "_hash", digest)
+            return digest
 
     def decisions(self) -> Dict[ProcessId, Value]:
         """pid → decided value, for the processes decided *in* this
@@ -119,34 +166,162 @@ class ExplorationResult:
     rather than the ``configurations`` set: set iteration order depends
     on ``PYTHONHASHSEED``, and a witness whose identity changes between
     interpreter runs cannot be replayed bit-for-bit (lint rule R001).
+
+    Int-keyed views (``order_ids``, ``successor_ids``, ``parent_ids``
+    over ``intern`` ids) mirror the object-keyed fields for analyses
+    that prefer dense bookkeeping (the valency fixpoint does).
+
+    When the graph was built under symmetry reduction (``reduced``),
+    configurations are canonical orbit representatives:
+    ``source_initial`` is the concrete initial configuration the caller
+    supplied, ``initial_permutation`` maps it onto ``initial``, and
+    ``parent_perms`` records, per reached id, the permutation applied
+    when its concrete successor was canonicalized. ``schedule_to``
+    composes these permutations back out, returning a schedule that
+    replays on the *unreduced* system.
     """
 
     initial: Configuration
-    order: List[Configuration] = field(default_factory=list)
-    configurations: Set[Configuration] = field(default_factory=set)
-    successors: Dict[Configuration, List[Tuple[Edge, Configuration]]] = field(
-        default_factory=dict
-    )
-    parents: Dict[Configuration, Tuple[Configuration, Edge]] = field(
-        default_factory=dict
-    )
     complete: bool = True
+    intern: Optional[InternTable] = None
+    order_ids: List[int] = field(default_factory=list)
+    successor_ids: Dict[int, Tuple[Tuple[Edge, int], ...]] = field(
+        default_factory=dict
+    )
+    parent_ids: Dict[int, Tuple[int, Edge]] = field(default_factory=dict)
+    reduced: bool = False
+    source_initial: Optional[Configuration] = None
+    initial_permutation: Optional[Permutation] = None
+    parent_perms: Dict[int, Permutation] = field(default_factory=dict)
+    # Lazily materialized object-keyed views (see the properties below):
+    # the hot path never touches them, so their cost is paid only by the
+    # analyses that actually want Configuration-keyed dictionaries.
+    _order: Optional[List[Configuration]] = field(default=None, repr=False)
+    _configurations: Optional[Set[Configuration]] = field(
+        default=None, repr=False
+    )
+    _successors: Optional[
+        Dict[Configuration, List[Tuple[Edge, Configuration]]]
+    ] = field(default=None, repr=False)
+    _parents: Optional[Dict[Configuration, Tuple[Configuration, Edge]]] = (
+        field(default=None, repr=False)
+    )
+
+    @property
+    def order(self) -> List[Configuration]:
+        """BFS discovery order (deterministic; see the class docstring)."""
+        if self._order is None:
+            assert self.intern is not None
+            value = self.intern.value
+            self._order = [value(ident) for ident in self.order_ids]
+        return self._order
+
+    @property
+    def configurations(self) -> Set[Configuration]:
+        if self._configurations is None:
+            self._configurations = set(self.order)
+        return self._configurations
+
+    @property
+    def successors(
+        self,
+    ) -> Dict[Configuration, List[Tuple[Edge, Configuration]]]:
+        if self._successors is None:
+            assert self.intern is not None
+            value = self.intern.value
+            self._successors = {
+                value(cid): [(edge, value(tid)) for edge, tid in entries]
+                for cid, entries in self.successor_ids.items()
+            }
+        return self._successors
+
+    @property
+    def parents(self) -> Dict[Configuration, Tuple[Configuration, Edge]]:
+        if self._parents is None:
+            assert self.intern is not None
+            value = self.intern.value
+            self._parents = {
+                value(tid): (value(cid), edge)
+                for tid, (cid, edge) in self.parent_ids.items()
+            }
+        return self._parents
+
+    def _reached_id(self, target: Configuration) -> int:
+        """The intern id of ``target`` if this exploration reached it."""
+        assert self.intern is not None
+        tid = self.intern.get_id(target)
+        if tid is not None and (
+            tid == self.order_ids[0] or tid in self.parent_ids
+        ):
+            return tid
+        raise AnalysisError("target configuration was never reached")
+
+    def _chain_to(
+        self, target: Configuration
+    ) -> List[Tuple[Configuration, Edge]]:
+        assert self.intern is not None
+        value = self.intern.value
+        cursor = self._reached_id(target)
+        root = self.order_ids[0]
+        chain: List[Tuple[Configuration, Edge]] = []
+        while cursor != root:
+            parent, edge = self.parent_ids[cursor]
+            chain.append((value(cursor), edge))
+            cursor = parent
+        chain.reverse()
+        return chain
 
     def schedule_to(self, target: Configuration) -> List[Edge]:
-        """Reconstruct the schedule (edge sequence) reaching ``target``."""
-        if target not in self.configurations:
-            raise AnalysisError("target configuration was never reached")
+        """Reconstruct the schedule (edge sequence) reaching ``target``.
+
+        For a reduced graph the returned edges are expressed in the
+        *unreduced* system's frame: replaying them with
+        :meth:`Explorer.step` from ``source_initial`` reaches a
+        configuration whose canonical representative is ``target``
+        (:meth:`permutation_to` returns the mapping permutation).
+        """
+        chain = self._chain_to(target)
+        if not self.reduced:
+            return [edge for _config, edge in chain]
+        assert self.intern is not None
+        assert self.initial_permutation is not None
+        accumulated = self.initial_permutation
         edges: List[Edge] = []
-        cursor = target
-        while cursor != self.initial:
-            parent, edge = self.parents[cursor]
-            edges.append(edge)
-            cursor = parent
-        edges.reverse()
+        for config, edge in chain:
+            inverse = _invert(accumulated)
+            edges.append(Edge(inverse[edge.pid], edge.choice, edge.response))
+            step_perm = self.parent_perms[self.intern.id_of(config)]
+            accumulated = _compose(step_perm, accumulated)
         return edges
 
+    def permutation_to(self, target: Configuration) -> Permutation:
+        """The permutation carrying the concrete endpoint of
+        :meth:`schedule_to` onto ``target`` (identity when unreduced)."""
+        chain = self._chain_to(target)
+        if not self.reduced:
+            return tuple(range(len(target.process_states)))
+        assert self.intern is not None
+        assert self.initial_permutation is not None
+        accumulated = self.initial_permutation
+        for config, _edge in chain:
+            step_perm = self.parent_perms[self.intern.id_of(config)]
+            accumulated = _compose(step_perm, accumulated)
+        return accumulated
+
     def __len__(self) -> int:
-        return len(self.configurations)
+        return len(self.order_ids)
+
+
+def _invert(perm: Permutation) -> Permutation:
+    inverse = [0] * len(perm)
+    for source, image in enumerate(perm):
+        inverse[image] = source
+    return tuple(inverse)
+
+
+def _compose(outer: Permutation, inner: Permutation) -> Permutation:
+    """``outer ∘ inner``: first apply ``inner``, then ``outer``."""
+    return tuple(outer[image] for image in inner)
 
 
 @dataclass(frozen=True)
@@ -174,11 +349,19 @@ class Livelock:
     moving: FrozenSet[ProcessId]
 
 
+class _Truncated(Exception):
+    """Internal: the BFS hit its configuration budget (non-strict)."""
+
+
 class Explorer:
     """Exhaustive (bounded) explorer for one protocol instance.
 
     ``objects`` maps names to specs; ``processes`` must be pure automata
     (``supports_snapshot``), which is what makes configurations values.
+
+    All caches (intern table, successor memo, decision-set table) are
+    per-instance: one :class:`Explorer` = one protocol instance whose
+    transition relation is immutable, so the caches can never go stale.
     """
 
     def __init__(
@@ -203,6 +386,35 @@ class Explorer:
         )
         self._index_of = {name: i for i, name in enumerate(self.object_names)}
         self.processes: Tuple[ProcessAutomaton, ...] = tuple(processes)
+        # -- fast-core caches ----------------------------------------
+        #: Configuration <-> dense id bijection (discovery order).
+        self._intern: InternTable[Configuration] = InternTable()
+        #: id -> tuple[(Edge, successor id)] — the memoized relation.
+        self._succ_cache: Dict[int, Tuple[Tuple[Edge, int], ...]] = {}
+        #: (id, pid) -> the pid's outgoing edges only (targeted step()).
+        self._pid_cache: Dict[Tuple[int, ProcessId], Tuple[Tuple[Edge, int], ...]] = {}
+        #: per-object (state, operation) -> outcome tuple.
+        self._responses_cache: Tuple[Dict[Tuple[Hashable, Hashable], tuple], ...] = (
+            tuple({} for _ in self.specs)
+        )
+        #: per-pid local state -> absorbed status tuple.
+        self._status_cache: Tuple[Dict[Hashable, Tuple], ...] = tuple(
+            {} for _ in self.processes
+        )
+        #: (process_states, statuses, object_states) -> intern id. The
+        #: hot-path dedupe: most generated successors already exist, and
+        #: this catches them on the raw field tuples before paying for a
+        #: Configuration construction.
+        self._triple_ids: Dict[Tuple, int] = {}
+        #: (pid, choice, response) -> the one Edge object for it.
+        self._edges: Dict[Tuple[ProcessId, int, Value], Edge] = {}
+        #: (pid, local state) -> object index the pid is poised to invoke.
+        self._invoke_cache: Dict[Tuple[ProcessId, Hashable], int] = {}
+        #: (pid, local state, object state) -> the pid's full step delta:
+        #: tuple of (Edge, new local state, new status, new object state).
+        self._delta_cache: Dict[Tuple, Tuple[Tuple, ...]] = {}
+        #: id -> reachable decision set (shared valency memo).
+        self._decision_sets: Dict[int, FrozenSet[Value]] = {}
 
     # -- configuration construction -----------------------------------------
 
@@ -212,23 +424,25 @@ class Explorer:
         objects = tuple(spec.initial_state() for spec in self.specs)
         return self._absorb(Configuration(states, statuses, objects))
 
+    def intern_id(self, config: Configuration) -> int:
+        """The configuration's dense id in this explorer's intern table."""
+        return self._intern.intern(config)
+
+    def interned(self, ident: int) -> Configuration:
+        """The configuration with intern id ``ident``."""
+        return self._intern.value(ident)
+
     def _absorb(self, config: Configuration) -> Configuration:
         """Settle local actions: decided/aborted/halted processes are
         marked immediately (decisions are not shared-memory steps)."""
         statuses = list(config.statuses)
         changed = False
-        for pid, automaton in enumerate(self.processes):
+        for pid in range(len(self.processes)):
             if statuses[pid] is not RUNNING:
                 continue
-            action = automaton.next_action(config.process_states[pid])
-            if isinstance(action, Decide):
-                statuses[pid] = _decided(action.value)
-                changed = True
-            elif isinstance(action, Abort):
-                statuses[pid] = ABORTED
-                changed = True
-            elif isinstance(action, Halt):
-                statuses[pid] = HALTED
+            status = self._absorbed_status(pid, config.process_states[pid])
+            if status is not RUNNING:
+                statuses[pid] = status
                 changed = True
         if not changed:
             return config
@@ -236,54 +450,195 @@ class Explorer:
             config.process_states, tuple(statuses), config.object_states
         )
 
+    def _absorbed_status(self, pid: ProcessId, state: Hashable) -> Tuple:
+        """The status a running process with local ``state`` settles to:
+        ``RUNNING`` while poised at an Invoke, else the terminal status
+        of its pending local action. Memoized per (pid, state)."""
+        cache = self._status_cache[pid]
+        status = cache.get(state)
+        if status is None:
+            action = self.processes[pid].cached_next_action(state)
+            if isinstance(action, Invoke):
+                status = RUNNING
+            elif isinstance(action, Decide):
+                status = _decided(action.value)
+            elif isinstance(action, Abort):
+                status = ABORTED
+            elif isinstance(action, Halt):
+                status = HALTED
+            else:
+                # Unknown local action: leave the process running so the
+                # next expansion raises the seed's "unabsorbed" error.
+                status = RUNNING
+            cache[state] = status
+        return status
+
+    def _outcomes(
+        self, obj_index: int, obj_state: Hashable, operation: Hashable
+    ) -> tuple:
+        """Memoized ``spec.responses`` (pure per R004, hence cacheable)."""
+        cache = self._responses_cache[obj_index]
+        key = (obj_state, operation)
+        try:
+            return cache[key]
+        except KeyError:
+            outcomes = tuple(
+                self.specs[obj_index].responses(obj_state, operation)
+            )
+            cache[key] = outcomes
+            return outcomes
+
+    def _expand_pid(
+        self, cid: int, config: Configuration, pid: ProcessId
+    ) -> List[Tuple[Edge, int]]:
+        """All edges in which ``pid`` moves from ``config`` (must be
+        enabled), as (edge, successor id) pairs."""
+        local_state = config.process_states[pid]
+        invoke_key = (pid, local_state)
+        obj_index = self._invoke_cache.get(invoke_key)
+        if obj_index is None:
+            obj_index = self._resolve_invoke(pid, local_state)
+        obj_state = config.object_states[obj_index]
+        delta_key = (pid, local_state, obj_state)
+        deltas = self._delta_cache.get(delta_key)
+        if deltas is None:
+            deltas = self._compute_deltas(pid, local_state, obj_index, obj_state)
+            self._delta_cache[delta_key] = deltas
+        process_states = config.process_states
+        statuses = config.statuses
+        object_states = config.object_states
+        triple_ids = self._triple_ids
+        entries: List[Tuple[Edge, int]] = []
+        for edge, local, status, new_obj in deltas:
+            states = (
+                process_states[:pid] + (local,) + process_states[pid + 1 :]
+            )
+            new_statuses = (
+                statuses
+                if status is RUNNING
+                else statuses[:pid] + (status,) + statuses[pid + 1 :]
+            )
+            objects = (
+                object_states[:obj_index]
+                + (new_obj,)
+                + object_states[obj_index + 1 :]
+            )
+            # Dedupe on the raw field triple: most successors were seen
+            # before, and the miss path below is the only place a new
+            # Configuration object is ever built.
+            triple = (states, new_statuses, objects)
+            tid = triple_ids.get(triple)
+            if tid is None:
+                tid = self._intern_triple(triple)
+            entries.append((edge, tid))
+        return entries
+
+    def _resolve_invoke(self, pid: ProcessId, local_state: Hashable) -> int:
+        """The object index ``pid`` is poised to invoke in ``local_state``
+        (validating it is a well-formed Invoke on a known object)."""
+        action = self.processes[pid].cached_next_action(local_state)
+        if not isinstance(action, Invoke):
+            raise AnalysisError(
+                f"process {pid} has unabsorbed local action {action!r}"
+            )
+        obj_index = self._index_of.get(action.obj)
+        if obj_index is None:
+            raise AnalysisError(
+                f"process {pid} invoked unknown object {action.obj!r}"
+            )
+        self._invoke_cache[(pid, local_state)] = obj_index
+        return obj_index
+
+    def _compute_deltas(
+        self,
+        pid: ProcessId,
+        local_state: Hashable,
+        obj_index: int,
+        obj_state: Hashable,
+    ) -> Tuple[Tuple, ...]:
+        """One (Edge, new local, new status, new object state) entry per
+        adversary choice for ``pid`` stepping in ``local_state`` against
+        ``obj_state``. Everything downstream of the configuration's
+        identity is memoized here in one lookup."""
+        automaton = self.processes[pid]
+        action = automaton.cached_next_action(local_state)
+        assert isinstance(action, Invoke)
+        outcomes = self._outcomes(obj_index, obj_state, action.operation)
+        edges = self._edges
+        deltas = []
+        for choice, (new_obj, response) in enumerate(outcomes):
+            local = automaton.cached_transition(local_state, response)
+            status = self._absorbed_status(pid, local)
+            edge_key = (pid, choice, response)
+            edge = edges.get(edge_key)
+            if edge is None:
+                edge = Edge(pid, choice, response)
+                edges[edge_key] = edge
+            deltas.append((edge, local, status, new_obj))
+        return tuple(deltas)
+
+    def _intern_triple(self, triple: Tuple) -> int:
+        """Intern the configuration with field tuple ``triple``."""
+        successor = Configuration(*triple)
+        object.__setattr__(successor, "_hash", hash(triple))
+        tid = self._intern.intern(successor)
+        self._triple_ids[triple] = tid
+        return tid
+
+    def _successor_entries(self, cid: int) -> Tuple[Tuple[Edge, int], ...]:
+        """The memoized successor relation of configuration id ``cid``."""
+        entries = self._succ_cache.get(cid)
+        if entries is None:
+            config = self._intern.value(cid)
+            collected: List[Tuple[Edge, int]] = []
+            for pid, status in enumerate(config.statuses):
+                if status is RUNNING:
+                    collected.extend(self._expand_pid(cid, config, pid))
+            entries = tuple(collected)
+            self._succ_cache[cid] = entries
+        return entries
+
+    def _pid_entries(
+        self, cid: int, pid: ProcessId
+    ) -> Tuple[Tuple[Edge, int], ...]:
+        """Only ``pid``'s outgoing edges — computed without enumerating
+        the other processes' moves (reuses the full memo when present)."""
+        full = self._succ_cache.get(cid)
+        if full is not None:
+            return tuple(entry for entry in full if entry[0].pid == pid)
+        key = (cid, pid)
+        entries = self._pid_cache.get(key)
+        if entries is None:
+            config = self._intern.value(cid)
+            if config.statuses[pid] is not RUNNING:
+                entries = ()
+            else:
+                entries = tuple(self._expand_pid(cid, config, pid))
+            self._pid_cache[key] = entries
+        return entries
+
     def successors(
         self, config: Configuration
     ) -> List[Tuple[Edge, Configuration]]:
         """All (edge, configuration) pairs one adversary step away."""
-        result: List[Tuple[Edge, Configuration]] = []
-        for pid in config.enabled():
-            automaton = self.processes[pid]
-            action = automaton.next_action(config.process_states[pid])
-            if not isinstance(action, Invoke):
-                raise AnalysisError(
-                    f"process {pid} has unabsorbed local action {action!r}"
-                )
-            obj_index = self._index_of.get(action.obj)
-            if obj_index is None:
-                raise AnalysisError(
-                    f"process {pid} invoked unknown object {action.obj!r}"
-                )
-            spec = self.specs[obj_index]
-            outcomes = spec.responses(
-                config.object_states[obj_index], action.operation
-            )
-            for choice, (obj_state, response) in enumerate(outcomes):
-                local = automaton.transition(
-                    config.process_states[pid], response
-                )
-                states = (
-                    config.process_states[:pid]
-                    + (local,)
-                    + config.process_states[pid + 1 :]
-                )
-                objects = (
-                    config.object_states[:obj_index]
-                    + (obj_state,)
-                    + config.object_states[obj_index + 1 :]
-                )
-                successor = self._absorb(
-                    Configuration(states, config.statuses, objects)
-                )
-                result.append((Edge(pid, choice, response), successor))
-        return result
+        cid = self._intern.intern(config)
+        value = self._intern.value
+        return [
+            (edge, value(tid)) for edge, tid in self._successor_entries(cid)
+        ]
 
     def step(
         self, config: Configuration, pid: ProcessId, choice: int = 0
     ) -> Configuration:
-        """Follow one specific edge (process ``pid``, outcome ``choice``)."""
-        for edge, successor in self.successors(config):
-            if edge.pid == pid and edge.choice == choice:
-                return successor
+        """Follow one specific edge (process ``pid``, outcome ``choice``).
+
+        Computes only the requested process's outcomes — it does not
+        enumerate the other processes' moves.
+        """
+        cid = self._intern.intern(config)
+        for edge, tid in self._pid_entries(cid, pid):
+            if edge.choice == choice:
+                return self._intern.value(tid)
         raise AnalysisError(
             f"no successor for pid={pid} choice={choice} from this "
             f"configuration (enabled: {config.enabled()})"
@@ -296,38 +651,100 @@ class Explorer:
         initial: Optional[Configuration] = None,
         max_configurations: int = 200_000,
         strict: bool = False,
+        symmetry: Optional["ProcessSymmetry"] = None,
     ) -> ExplorationResult:
         """BFS the reachable configuration graph from ``initial``.
 
         Stops at ``max_configurations`` (marking the result incomplete,
-        or raising in ``strict`` mode).
+        or raising in ``strict`` mode). With ``symmetry``, explores the
+        quotient graph of canonical representatives instead — see
+        :mod:`repro.analysis.symmetry` for the soundness conditions —
+        and records the permutations needed to map witnesses back.
         """
         start = initial if initial is not None else self.initial_configuration()
-        result = ExplorationResult(initial=start)
-        result.configurations.add(start)
-        result.order.append(start)
-        frontier: List[Configuration] = [start]
-        while frontier:
-            next_frontier: List[Configuration] = []
-            for config in frontier:
-                edges = self.successors(config)
-                result.successors[config] = edges
-                for edge, successor in edges:
-                    if successor in result.configurations:
-                        continue
-                    if len(result.configurations) >= max_configurations:
-                        if strict:
-                            raise ExplorationBudgetExceeded(
-                                f"exceeded {max_configurations} configurations"
+        start = self._intern.canonical(start)
+        initial_perm: Optional[Permutation] = None
+        if symmetry is not None:
+            rep, initial_perm = self._canonicalize(start, symmetry)
+            bfs_start = rep
+        else:
+            bfs_start = start
+
+        intern = self._intern
+        start_id = intern.id_of(bfs_start)
+        order_ids: List[int] = [start_id]
+        seen: Set[int] = {start_id}
+        parent_ids: Dict[int, Tuple[int, Edge]] = {}
+        parent_perms: Dict[int, Permutation] = {}
+        successor_ids: Dict[int, Tuple[Tuple[Edge, int], ...]] = {}
+        complete = True
+
+        frontier: List[int] = [start_id]
+        try:
+            while frontier:
+                next_frontier: List[int] = []
+                for cid in frontier:
+                    entries = self._successor_entries(cid)
+                    perms: Tuple[Permutation, ...] = ()
+                    if symmetry is not None:
+                        # The quotient graph's edges must target the
+                        # canonical representatives, so every id in
+                        # successor_ids stays inside order_ids and
+                        # graph-level passes (decision fixpoint,
+                        # livelock DFS) work unchanged on reduced
+                        # results.
+                        mapped: List[Tuple[Edge, int]] = []
+                        perm_list: List[Permutation] = []
+                        for edge, tid in entries:
+                            rep, perm = self._canonicalize(
+                                intern.value(tid), symmetry
                             )
-                        result.complete = False
-                        return result
-                    result.configurations.add(successor)
-                    result.order.append(successor)
-                    result.parents[successor] = (config, edge)
-                    next_frontier.append(successor)
-            frontier = next_frontier
-        return result
+                            mapped.append((edge, intern.id_of(rep)))
+                            perm_list.append(perm)
+                        entries = tuple(mapped)
+                        perms = tuple(perm_list)
+                    successor_ids[cid] = entries
+                    for index, (edge, tid) in enumerate(entries):
+                        if tid in seen:
+                            continue
+                        if len(seen) >= max_configurations:
+                            if strict:
+                                raise ExplorationBudgetExceeded(
+                                    f"exceeded {max_configurations} "
+                                    f"configurations"
+                                )
+                            complete = False
+                            raise _Truncated()
+                        seen.add(tid)
+                        order_ids.append(tid)
+                        parent_ids[tid] = (cid, edge)
+                        if symmetry is not None:
+                            parent_perms[tid] = perms[index]
+                        next_frontier.append(tid)
+                frontier = next_frontier
+        except _Truncated:
+            pass
+
+        return ExplorationResult(
+            initial=bfs_start,
+            complete=complete,
+            intern=intern,
+            order_ids=order_ids,
+            successor_ids=successor_ids,
+            parent_ids=parent_ids,
+            reduced=symmetry is not None,
+            source_initial=start,
+            initial_permutation=initial_perm,
+            parent_perms=parent_perms,
+        )
+
+    def _canonicalize(
+        self, config: Configuration, symmetry: "ProcessSymmetry"
+    ) -> Tuple[Configuration, Permutation]:
+        """Orbit representative of ``config`` (interned) plus the
+        permutation mapping ``config`` onto it."""
+        rep, perm = symmetry.canonical(config, self.object_names)
+        return self._intern.canonical(rep), perm
 
     # -- analyses ------------------------------------------------------------
 
@@ -337,14 +754,21 @@ class Explorer:
         inputs: Sequence[Value],
         initial: Optional[Configuration] = None,
         max_configurations: int = 200_000,
+        symmetry: Optional["ProcessSymmetry"] = None,
     ) -> Optional[SafetyCounterexample]:
         """Audit safety at every reachable configuration.
 
         Returns a counterexample (with its witness schedule) or None. A
         None from an incomplete exploration raises — absence of evidence
         under a truncated search is not evidence.
+
+        With ``symmetry``, the quotient graph is audited instead; the
+        task predicate must be invariant under the supplied symmetry
+        (checked dynamically: the witness is replayed concretely and
+        must still violate). The returned counterexample is always
+        concrete and replayable on the unreduced system.
         """
-        exploration = self.explore(initial, max_configurations)
+        exploration = self.explore(initial, max_configurations, symmetry=symmetry)
         # BFS order, not set order: the returned counterexample must be
         # the same one on every run regardless of PYTHONHASHSEED.
         for config in exploration.order:
@@ -352,10 +776,31 @@ class Explorer:
                 inputs, config.decisions(), config.aborted()
             )
             if not verdict.ok:
+                schedule = tuple(exploration.schedule_to(config))
+                if symmetry is None:
+                    return SafetyCounterexample(
+                        configuration=config,
+                        verdict=verdict,
+                        schedule=schedule,
+                    )
+                assert exploration.source_initial is not None
+                cursor = exploration.source_initial
+                for edge in schedule:
+                    cursor = self.step(cursor, edge.pid, edge.choice)
+                concrete = task.check_safety(
+                    inputs, cursor.decisions(), cursor.aborted()
+                )
+                if concrete.ok:
+                    raise AnalysisError(
+                        "symmetry reduction is unsound for this task: the "
+                        "canonical representative violates safety but its "
+                        "concrete preimage does not — the task predicate "
+                        "is not invariant under the supplied symmetry"
+                    )
                 return SafetyCounterexample(
-                    configuration=config,
-                    verdict=verdict,
-                    schedule=tuple(exploration.schedule_to(config)),
+                    configuration=cursor,
+                    verdict=concrete,
+                    schedule=schedule,
                 )
         if not exploration.complete:
             raise ExplorationBudgetExceeded(
@@ -363,6 +808,70 @@ class Explorer:
                 "raise max_configurations"
             )
         return None
+
+    def decision_table(
+        self,
+        initial: Optional[Configuration] = None,
+        max_configurations: int = 200_000,
+        exploration: Optional[ExplorationResult] = None,
+    ) -> Dict[int, FrozenSet[Value]]:
+        """Reachable decision sets for every configuration reachable
+        from ``initial``, by one backward fixpoint over the memoized
+        graph (keys are intern ids; the table is shared and reused by
+        every later valency query on this explorer).
+
+        Pass ``exploration`` to reuse an already-computed graph (the
+        :class:`~repro.analysis.valency_analyzer.ValencyAnalyzer` does)
+        instead of re-walking the BFS.
+        """
+        if exploration is not None:
+            if exploration.order_ids[0] not in self._decision_sets:
+                self._run_decision_fixpoint(exploration)
+            return self._decision_sets
+        start = initial if initial is not None else self.initial_configuration()
+        start = self._intern.canonical(start)
+        start_id = self._intern.id_of(start)
+        if start_id not in self._decision_sets:
+            self._populate_decision_sets(start, max_configurations)
+        return self._decision_sets
+
+    def _populate_decision_sets(
+        self, start: Configuration, max_configurations: int
+    ) -> None:
+        exploration = self.explore(start, max_configurations)
+        if not exploration.complete:
+            raise ExplorationBudgetExceeded(
+                "decision_values needs a complete subgraph; raise the budget"
+            )
+        self._run_decision_fixpoint(exploration)
+
+    def _run_decision_fixpoint(self, exploration: ExplorationResult) -> None:
+        order_ids = exploration.order_ids
+        successor_ids = exploration.successor_ids
+        known = self._decision_sets
+        sets: Dict[int, Set[Value]] = {}
+        for cid in order_ids:
+            fixed = known.get(cid)
+            if fixed is not None:
+                sets[cid] = set(fixed)
+            else:
+                sets[cid] = set(
+                    self._intern.value(cid).decisions().values()
+                )
+        # Backward fixpoint: reverse-BFS order settles acyclic parts in
+        # one sweep; cycles converge because the sets are monotone.
+        changed = True
+        while changed:
+            changed = False
+            for cid in reversed(order_ids):
+                merged = sets[cid]
+                before = len(merged)
+                for _edge, tid in successor_ids.get(cid, ()):
+                    merged |= sets[tid]
+                if len(merged) != before:
+                    changed = True
+        for cid, values in sets.items():
+            known[cid] = frozenset(values)
 
     def decision_values(
         self,
@@ -374,8 +883,14 @@ class Explorer:
         ``config`` (restricted to ``pid``'s decisions if given).
 
         This is the semantic core of valency: a configuration is
-        v-valent iff ``decision_values`` is a subset of ``{v}``.
+        v-valent iff ``decision_values`` is a subset of ``{v}``. The
+        unrestricted form is answered from the shared memoized
+        decision-set table (one backward fixpoint per new subgraph,
+        never one exploration per query).
         """
+        if pid is None:
+            table = self.decision_table(config, max_configurations)
+            return table[self._intern.id_of(self._intern.canonical(config))]
         exploration = self.explore(config, max_configurations)
         if not exploration.complete:
             raise ExplorationBudgetExceeded(
@@ -384,7 +899,7 @@ class Explorer:
         values: Set[Value] = set()
         for reached in exploration.order:
             for decider, value in reached.decisions().items():
-                if pid is None or decider == pid:
+                if decider == pid:
                     values.add(value)
         return frozenset(values)
 
@@ -406,55 +921,58 @@ class Explorer:
             raise ExplorationBudgetExceeded(
                 "livelock search needs a complete graph; raise the budget"
             )
-        # Iterative DFS with colors to find a back edge.
+        # Iterative DFS with colors to find a back edge — int-keyed on
+        # intern ids (the traversal order matches the seed calculus
+        # exactly, so the reported livelock is bit-identical).
         WHITE, GRAY, BLACK = 0, 1, 2
-        color: Dict[Configuration, int] = {
-            c: WHITE for c in exploration.order
-        }
-        on_path: List[Tuple[Configuration, Edge]] = []
-        start = exploration.initial
+        color: Dict[int, int] = {cid: WHITE for cid in exploration.order_ids}
+        on_path: List[Tuple[int, Edge]] = []
+        successor_ids = exploration.successor_ids
+        value = self._intern.value
+        start_id = exploration.order_ids[0]
 
-        stack: List[Tuple[Configuration, int]] = [(start, 0)]
-        color[start] = GRAY
+        stack: List[Tuple[int, int]] = [(start_id, 0)]
+        color[start_id] = GRAY
         while stack:
-            config, edge_index = stack[-1]
-            edges = exploration.successors.get(config, [])
+            cid, edge_index = stack[-1]
+            edges = successor_ids.get(cid, ())
             if edge_index >= len(edges):
-                color[config] = BLACK
+                color[cid] = BLACK
                 stack.pop()
                 if on_path:
                     on_path.pop()
                 continue
-            stack[-1] = (config, edge_index + 1)
-            edge, successor = edges[edge_index]
-            if color.get(successor, WHITE) == GRAY:
-                # Back edge: cycle successor -> ... -> config -> successor.
+            stack[-1] = (cid, edge_index + 1)
+            edge, tid = edges[edge_index]
+            if color.get(tid, WHITE) == GRAY:
+                # Back edge: cycle tid -> ... -> cid -> tid.
                 cycle_edges: List[Edge] = []
                 collecting = False
-                for path_config, path_edge in on_path:
-                    if path_config == successor:
+                for path_id, path_edge in on_path:
+                    if path_id == tid:
                         collecting = True
                     if collecting:
                         cycle_edges.append(path_edge)
                 cycle_edges.append(edge)
                 moving = frozenset(e.pid for e in cycle_edges)
+                entry = value(tid)
                 undecided = {
                     pid
                     for pid in sorted(moving)
-                    if successor.statuses[pid] is RUNNING
+                    if entry.statuses[pid] is RUNNING
                 }
                 if not require_undecided_mover or undecided:
                     return Livelock(
-                        entry=successor,
-                        prefix=tuple(exploration.schedule_to(successor)),
+                        entry=entry,
+                        prefix=tuple(exploration.schedule_to(entry)),
                         cycle=tuple(cycle_edges),
                         moving=moving,
                     )
                 continue
-            if color.get(successor, WHITE) == WHITE:
-                color[successor] = GRAY
-                on_path.append((config, edge))
-                stack.append((successor, 0))
+            if color.get(tid, WHITE) == WHITE:
+                color[tid] = GRAY
+                on_path.append((cid, edge))
+                stack.append((tid, 0))
         return None
 
     def solo_termination(
@@ -470,39 +988,51 @@ class Explorer:
         is acyclic (a solo cycle = a solo run that never decides). This
         is n-DAC Termination (a)/(b) and the "q-solo history" device the
         proofs invoke constantly.
+
+        The walk is an iterative worklist (no recursion): deep solo
+        chains — hundreds of retry steps in the starvation experiments —
+        must not hit Python's recursion limit.
         """
         start = initial if initial is not None else self.initial_configuration()
-        seen: Set[Configuration] = set()
-        path: Set[Configuration] = set()
-
-        def terminated(config: Configuration) -> bool:
-            return config.statuses[pid] is not RUNNING
-
-        def dfs(config: Configuration) -> bool:
-            if terminated(config):
-                return True
-            if config in path:
+        start = self._intern.canonical(start)
+        if start.statuses[pid] is not RUNNING:
+            return True
+        intern = self._intern
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[int, int] = {}
+        expanded = 0
+        start_id = intern.id_of(start)
+        color[start_id] = GRAY
+        # Frame: [config id, edge tuple or None, next edge index].
+        stack: List[List] = [[start_id, None, 0]]
+        while stack:
+            frame = stack[-1]
+            cid = frame[0]
+            if frame[1] is None:
+                if expanded >= max_configurations:
+                    raise ExplorationBudgetExceeded(
+                        "solo_termination budget exceeded"
+                    )
+                expanded += 1
+                frame[1] = self._pid_entries(cid, pid)
+                if not frame[1]:
+                    # pid is enabled but has no successor — cannot happen
+                    # for total objects; treat as non-termination.
+                    return False
+            if frame[2] >= len(frame[1]):
+                color[cid] = BLACK
+                stack.pop()
+                continue
+            _edge, tid = frame[1][frame[2]]
+            frame[2] += 1
+            successor = intern.value(tid)
+            if successor.statuses[pid] is not RUNNING:
+                continue  # this solo path terminated
+            mark = color.get(tid, WHITE)
+            if mark == GRAY:
                 return False  # solo cycle: pid steps forever undecided
-            if config in seen:
-                return True
-            if len(seen) >= max_configurations:
-                raise ExplorationBudgetExceeded(
-                    "solo_termination budget exceeded"
-                )
-            seen.add(config)
-            path.add(config)
-            edges = [
-                (edge, successor)
-                for edge, successor in self.successors(config)
-                if edge.pid == pid
-            ]
-            if not edges:
-                # pid is enabled but has no successor — cannot happen for
-                # total objects; treat as non-termination.
-                path.discard(config)
-                return False
-            verdict = all(dfs(successor) for _, successor in edges)
-            path.discard(config)
-            return verdict
-
-        return dfs(start)
+            if mark == BLACK:
+                continue
+            color[tid] = GRAY
+            stack.append([tid, None, 0])
+        return True

@@ -1,0 +1,67 @@
+"""Dense interning of hashable values.
+
+The explorer's BFS bookkeeping (visited sets, parent pointers, successor
+adjacency, valency maps) is dictionary work keyed by whole
+:class:`~repro.analysis.explorer.Configuration` values. Each such key
+operation hashes a deep tuple-of-tuples; on large graphs that hashing —
+not the configuration calculus itself — dominates the profile.
+
+:class:`InternTable` maps each distinct value to a dense integer id the
+first time it is seen, after which every piece of bookkeeping becomes
+int-keyed dict/array work. The table also guarantees *identity*
+interning: looking up an equal value always returns the same id, and
+:meth:`value` always returns the same object, so cached per-object state
+(for example a configuration's memoized hash) is computed exactly once
+per distinct value.
+
+Ids are allocated in first-seen order, which for a BFS is discovery
+order — deterministic and independent of ``PYTHONHASHSEED`` (the
+determinism contract of lint rule R001).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, List, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class InternTable(Generic[T]):
+    """Bijection between values and dense ids ``0 .. len-1``."""
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self) -> None:
+        self._ids: Dict[T, int] = {}
+        self._values: List[T] = []
+
+    def intern(self, value: T) -> int:
+        """Return the id for ``value``, allocating one if it is new."""
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = len(self._values)
+            self._ids[value] = ident
+            self._values.append(value)
+        return ident
+
+    def canonical(self, value: T) -> T:
+        """The first-seen object equal to ``value`` (identity intern)."""
+        return self._values[self.intern(value)]
+
+    def id_of(self, value: T) -> int:
+        """The id of an already-interned value (KeyError if unseen)."""
+        return self._ids[value]
+
+    def get_id(self, value: T) -> "int | None":
+        """The id of ``value`` or None — never allocates."""
+        return self._ids.get(value)
+
+    def value(self, ident: int) -> T:
+        """The value with id ``ident``."""
+        return self._values[ident]
+
+    def __contains__(self, value: T) -> bool:
+        return value in self._ids
+
+    def __len__(self) -> int:
+        return len(self._values)

@@ -156,6 +156,12 @@ def find_critical_configuration(
     that case, see :meth:`Explorer.find_livelock`).
 
     Returns None when the initial configuration is not bivalent.
+
+    Cost: one exploration + one backward fixpoint total. The first
+    :func:`classify` populates the explorer's shared decision-set table
+    for the whole reachable subgraph, so every per-successor
+    classification during the descent is a table lookup — not a fresh
+    exploration per successor per step.
     """
     config = initial if initial is not None else explorer.initial_configuration()
     valency = classify(explorer, config, domain, max_configurations)
@@ -212,7 +218,9 @@ def _poised_objects(
     """
     poised: Dict[ProcessId, str] = {}
     for pid in config.enabled():
-        action = explorer.processes[pid].next_action(config.process_states[pid])
+        action = explorer.processes[pid].cached_next_action(
+            config.process_states[pid]
+        )
         if isinstance(action, Invoke):
             poised[pid] = action.obj
     return poised

@@ -13,6 +13,11 @@ does the whole job in two passes over a single exploration:
    changes (the sets are small and monotone, so this converges
    quickly).
 
+Both passes are int-keyed over the explorer's intern table, and the
+fixpoint writes into the explorer's *shared* decision-set table — so a
+later :func:`repro.analysis.valency.classify` (or another analyzer on
+the same explorer) reuses it instead of recomputing.
+
 On top of the per-configuration sets the analyzer offers the proofs'
 vocabulary directly: bivalent configurations, *critical* configurations
 (bivalent, every successor univalent — Claim 4.2.5 / 5.2.2), and the
@@ -71,43 +76,24 @@ class ValencyAnalyzer:
                 "valency analysis needs the complete reachable graph; raise "
                 "max_configurations"
             )
-        self._decisions = self._propagate()
-
-    # -- core computation ---------------------------------------------------
-
-    def _propagate(self) -> Dict[Configuration, FrozenSet[Value]]:
-        """Backward fixpoint of reachable decision sets."""
-        sets: Dict[Configuration, Set[Value]] = {}
-        for config in self.graph.order:
-            sets[config] = set(config.decisions().values())
-
-        # Iterate to fixpoint. Process in reverse-BFS order for speed
-        # (children of the frontier settle first on acyclic parts).
-        changed = True
-        while changed:
-            changed = False
-            for config in self.graph.order:
-                merged = sets[config]
-                before = len(merged)
-                for _edge, successor in self.graph.successors.get(config, []):
-                    merged |= sets[successor]
-                if len(merged) != before:
-                    changed = True
-        return {config: frozenset(s) for config, s in sets.items()}
+        self._table = explorer.decision_table(exploration=self.graph)
 
     # -- queries -------------------------------------------------------------
 
     def decision_set(self, config: Configuration) -> FrozenSet[Value]:
         """All decision values reachable from ``config`` (memoized)."""
-        try:
-            return self._decisions[config]
-        except KeyError:
+        assert self.graph.intern is not None
+        ident = self.graph.intern.get_id(config)
+        if ident is None or (
+            ident != self.graph.order_ids[0]
+            and ident not in self.graph.parent_ids
+        ):
             raise AnalysisError(
                 "configuration is not in the analyzed reachable graph"
             )
+        return self._table[ident]
 
-    def label(self, config: Configuration) -> str:
-        values = self.decision_set(config)
+    def _classify(self, values: FrozenSet[Value]) -> str:
         zero, one = self.domain
         has_zero, has_one = zero in values, one in values
         if has_zero and has_one:
@@ -118,11 +104,19 @@ class ValencyAnalyzer:
             return ONE_VALENT
         return DECISIONLESS
 
+    def _label_of_id(self, ident: int) -> str:
+        return self._classify(self._table[ident])
+
+    def label(self, config: Configuration) -> str:
+        return self._classify(self.decision_set(config))
+
     def bivalent_configurations(self) -> List[Configuration]:
+        assert self.graph.intern is not None
+        value = self.graph.intern.value
         return [
-            config
-            for config in self.graph.order
-            if self.label(config) == BIVALENT
+            value(ident)
+            for ident in self.graph.order_ids
+            if self._label_of_id(ident) == BIVALENT
         ]
 
     def critical_configurations(self) -> List[CriticalReport]:
@@ -132,23 +126,29 @@ class ValencyAnalyzer:
         Claims 4.2.5 / 5.2.2 descend to). Returns each with its hook
         steps labelled by the successor's valence.
         """
+        assert self.graph.intern is not None
+        value = self.graph.intern.value
+        successor_ids = self.graph.successor_ids
         reports: List[CriticalReport] = []
-        for config in self.graph.order:
-            if self.label(config) != BIVALENT:
+        for ident in self.graph.order_ids:
+            if self._label_of_id(ident) != BIVALENT:
                 continue
-            edges = self.graph.successors.get(config, [])
+            edges = successor_ids.get(ident, ())
             if not edges:
                 # Terminal yet bivalent: only possible when the
                 # protocol already violated agreement (two decisions
                 # present); not a critical configuration in the proof
                 # sense.
                 continue
-            labels = [(edge, self.label(successor)) for edge, successor in edges]
+            labels = [
+                (edge, self._label_of_id(successor))
+                for edge, successor in edges
+            ]
             if any(label == BIVALENT for _edge, label in labels):
                 continue
             reports.append(
                 CriticalReport(
-                    configuration=config,
+                    configuration=value(ident),
                     hooks=tuple(HookStep(edge, label) for edge, label in labels),
                 )
             )
@@ -161,7 +161,7 @@ class ValencyAnalyzer:
     def summary(self) -> Dict[str, int]:
         """Counts per valency label over the whole reachable graph."""
         counts: Dict[str, int] = {}
-        for config in self.graph.order:
-            label = self.label(config)
+        for ident in self.graph.order_ids:
+            label = self._label_of_id(ident)
             counts[label] = counts.get(label, 0) + 1
         return counts

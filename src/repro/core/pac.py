@@ -56,6 +56,18 @@ class PacState:
     last_label: Value
     value: Value
 
+    def __hash__(self) -> int:
+        # PAC states appear inside every configuration the explorer
+        # interns; cache the field-tuple hash on the instance.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            digest = hash(
+                (self.upset, self.proposals, self.last_label, self.value)
+            )
+            object.__setattr__(self, "_hash", digest)
+            return digest
+
     @staticmethod
     def initial(n: int) -> "PacState":
         return PacState(
@@ -103,7 +115,27 @@ class NPacSpec(SequentialSpec):
             )
         return label
 
+    #: Class-level memo of the (pure, deterministic) transition relation,
+    #: keyed by (class, n, state, operation). Shared across instances:
+    #: the relation is a function of those values alone, and the state
+    #: space for a given ``n`` is finite. The class is part of the key so
+    #: subclasses (e.g. the mutation-test variants) never see the parent
+    #: relation's entries.
+    _responses_memo: dict = {}
+
     def responses(self, state: Hashable, operation: Operation) -> Sequence[Outcome]:
+        memo = NPacSpec._responses_memo
+        key = (type(self), self.n, state, operation)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        outcomes = self._responses_impl(state, operation)
+        memo[key] = outcomes
+        return outcomes
+
+    def _responses_impl(
+        self, state: Hashable, operation: Operation
+    ) -> Sequence[Outcome]:
         assert isinstance(state, PacState)
         if operation.name == "propose":
             expect_arity(operation, 2, self.kind)
@@ -172,6 +204,36 @@ class NPacSpec(SequentialSpec):
             ),
             response,
         )
+
+
+def permute_pac_state(state: Hashable, perm: Sequence[int]) -> "PacState":
+    """Relabel a :class:`PacState` through a process permutation.
+
+    Convention (used by Algorithm 2): process ``i`` operates under PAC
+    label ``i + 1``, and ``perm[i]`` is the new pid of old pid ``i``.
+    Proposal slot ``i`` therefore moves to slot ``perm[i]``, and a
+    pending ``last_label`` of ``l`` becomes ``perm[l - 1] + 1``.
+
+    This is a spec automorphism of :class:`NPacSpec`: Algorithm 1 never
+    compares labels to anything but each other, so relabelling the state
+    and the operations consistently commutes with every transition —
+    the condition symmetry reduction needs
+    (:mod:`repro.analysis.symmetry`).
+    """
+    assert isinstance(state, PacState)
+    proposals: List[Value] = [NIL] * len(state.proposals)
+    for index, value in enumerate(state.proposals):
+        proposals[perm[index]] = value
+    last_label = state.last_label
+    if last_label is not NIL:
+        assert isinstance(last_label, int)
+        last_label = perm[last_label - 1] + 1
+    return PacState(
+        upset=state.upset,
+        proposals=tuple(proposals),
+        last_label=last_label,
+        value=state.value,
+    )
 
 
 def is_legal_history(operations: Sequence[Operation], n: int) -> bool:

@@ -243,3 +243,20 @@ def one_shot_consensus_processes(
         OneShotConsensusProcess(pid, value, obj)
         for pid, value in enumerate(inputs)
     ]
+
+
+def one_shot_consensus_symmetry(inputs: Sequence[Value]):
+    """The process symmetry of a one-shot consensus instance, or None.
+
+    Equal-input processes are fully interchangeable: the automaton's
+    operations mention only the proposed value, and the
+    ``m``-consensus object's state (``winner``, ``applied``) is pid-free,
+    so no object permuter is needed (see
+    :mod:`repro.analysis.symmetry`).
+    """
+    from ..analysis.symmetry import ProcessSymmetry, groups_by_input
+
+    groups = groups_by_input(inputs)
+    if not groups:
+        return None
+    return ProcessSymmetry(len(inputs), groups)

@@ -19,6 +19,7 @@ from ..errors import SpecificationError
 from ..types import BOTTOM, ProcessId, Value, op, require
 from ..runtime.events import Abort, Action, Decide, Invoke
 from ..runtime.process import ProcessAutomaton
+from ..core.pac import permute_pac_state
 
 #: Local-state tags for the Algorithm 2 automaton.
 _TO_PROPOSE = "to_propose"
@@ -104,3 +105,30 @@ def algorithm2_processes(
         )
         for pid in range(n)
     ]
+
+
+def algorithm2_symmetry(
+    inputs: Tuple[Value, ...],
+    distinguished: ProcessId = 0,
+    pac: str = "PAC",
+):
+    """The process symmetry of an Algorithm 2 instance, or None.
+
+    Non-distinguished processes with equal inputs are interchangeable:
+    their automata differ only in the PAC label (``pid + 1``), and
+    :func:`~repro.core.pac.permute_pac_state` relabels the PAC state to
+    match (the spec-automorphism obligation of
+    :mod:`repro.analysis.symmetry`). The distinguished process is never
+    grouped — its abort branch makes it observably different.
+
+    Returns None when no two processes are interchangeable (then
+    reduction cannot shrink anything).
+    """
+    from ..analysis.symmetry import ProcessSymmetry, groups_by_input
+
+    groups = groups_by_input(inputs, exclude=(distinguished,))
+    if not groups:
+        return None
+    return ProcessSymmetry(
+        len(inputs), groups, object_permuters={pac: permute_pac_state}
+    )

@@ -46,6 +46,47 @@ class ProcessAutomaton(ABC):
 
     def __init__(self, pid: ProcessId) -> None:
         self.pid = pid
+        # Memoization for the model checker's hot path. Sound only
+        # because automata are pure functions of their local state
+        # (the purity contract above); the generator adapter is
+        # stateful, so both caches are bypassed when
+        # ``supports_snapshot`` is False.
+        self._action_cache: dict = {}
+        self._transition_cache: dict = {}
+
+    def cached_next_action(self, state: Hashable) -> Action:
+        """Memoized :meth:`next_action` (pure automata only).
+
+        Also guarantees *identity*: the same state always yields the
+        same :class:`~repro.runtime.events.Action` object, so downstream
+        caches keyed on the action hit without deep hashing.
+        """
+        if not self.supports_snapshot:
+            return self.next_action(state)
+        action = self._action_cache.get(state)
+        if action is None:
+            action = self.next_action(state)
+            self._action_cache[state] = action
+        return action
+
+    def cached_transition(self, state: Hashable, response: Value) -> Hashable:
+        """Memoized :meth:`transition` keyed by ``(state, response)``.
+
+        Pure automata only (the adapter bypasses); responses must be
+        hashable, which the explorer's configuration calculus already
+        requires. Interns the resulting local state: equal inputs
+        return the identical state object.
+        """
+        if not self.supports_snapshot:
+            return self.transition(state, response)
+        key = (state, response)
+        cache = self._transition_cache
+        try:
+            return cache[key]
+        except KeyError:
+            successor = self.transition(state, response)
+            cache[key] = successor
+            return successor
 
     @abstractmethod
     def initial_state(self) -> Hashable:

@@ -33,16 +33,20 @@ class _Sentinel:
     ``copy.deepcopy`` as the same identity, and print as their symbol.
     """
 
-    __slots__ = ("_name",)
+    __slots__ = ("_name", "_hash")
 
     def __init__(self, name: str) -> None:
         self._name = name
+        # Sentinels sit inside nearly every object state the explorer
+        # hashes; precompute once instead of re-hashing the name tuple
+        # on every container hash.
+        self._hash = hash(("repro.sentinel", name))
 
     def __repr__(self) -> str:
         return self._name
 
     def __hash__(self) -> int:
-        return hash(("repro.sentinel", self._name))
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         return self is other
@@ -99,6 +103,16 @@ class Operation:
 
     name: str
     args: Tuple[Value, ...] = field(default=())
+
+    def __hash__(self) -> int:
+        # Operations key the explorer's response caches; hash the
+        # (name, args) pair once per instance.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            digest = hash((self.name, self.args))
+            object.__setattr__(self, "_hash", digest)
+            return digest
 
     def __repr__(self) -> str:
         rendered = ", ".join(repr(a) for a in self.args)

@@ -1,0 +1,176 @@
+"""Tests for symmetry reduction (groups, permuters, quotient graphs)."""
+
+import pytest
+
+from repro.analysis.explorer import Explorer
+from repro.analysis.symmetry import ProcessSymmetry, groups_by_input
+from repro.core.pac import NIL, NPacSpec, PacState, permute_pac_state
+from repro.errors import AnalysisError
+from repro.protocols.consensus import (
+    one_shot_consensus_processes,
+    one_shot_consensus_symmetry,
+)
+from repro.protocols.dac_from_pac import (
+    algorithm2_processes,
+    algorithm2_symmetry,
+)
+from repro.protocols.tasks import DacDecisionTask
+
+
+def algorithm2_explorer(inputs):
+    return Explorer(
+        {"PAC": NPacSpec(len(inputs))}, algorithm2_processes(inputs)
+    )
+
+
+class TestGroupsByInput:
+    def test_groups_equal_inputs(self):
+        assert groups_by_input((1, 0, 0, 0)) == ((1, 2, 3),)
+
+    def test_exclude_removes_distinguished_pid(self):
+        assert groups_by_input((0, 0, 0), exclude=(0,)) == ((1, 2),)
+
+    def test_singletons_are_dropped(self):
+        assert groups_by_input((1, 2, 3)) == ()
+
+    def test_multiple_groups(self):
+        assert groups_by_input((0, 0, 1, 1)) == ((0, 1), (2, 3))
+
+
+class TestProcessSymmetry:
+    def test_rejects_out_of_range_pid(self):
+        with pytest.raises(AnalysisError, match="outside"):
+            ProcessSymmetry(2, [(0, 2)])
+
+    def test_rejects_overlapping_groups(self):
+        with pytest.raises(AnalysisError, match="disjoint"):
+            ProcessSymmetry(3, [(0, 1), (1, 2)])
+
+    def test_enumerates_product_of_symmetric_groups(self):
+        sym = ProcessSymmetry(5, [(0, 1), (2, 3, 4)])
+        assert len(sym.permutations) == 2 * 6
+        assert sym.permutations[0] == (0, 1, 2, 3, 4)  # identity first
+
+    def test_canonical_is_orbit_invariant(self):
+        inputs = (1, 0, 0)
+        sym = algorithm2_symmetry(inputs)
+        explorer = algorithm2_explorer(inputs)
+        config = explorer.initial_configuration()
+        rep, perm = sym.canonical(config, explorer.object_names)
+        assert sym.apply(config, perm, explorer.object_names) == rep
+        # Every orbit member canonicalizes to the same representative.
+        for other_perm in sym.permutations:
+            member = sym.apply(config, other_perm, explorer.object_names)
+            other_rep, _ = sym.canonical(member, explorer.object_names)
+            assert other_rep == rep
+
+
+class TestPermutePacState:
+    def test_proposals_move_with_the_permutation(self):
+        state = PacState(
+            upset=False, proposals=("a", "b", "c"), last_label=NIL, value=NIL
+        )
+        permuted = permute_pac_state(state, (0, 2, 1))
+        assert permuted.proposals == ("a", "c", "b")
+
+    def test_last_label_is_relabelled(self):
+        state = PacState(
+            upset=False, proposals=(NIL, "x", NIL), last_label=2, value=NIL
+        )
+        permuted = permute_pac_state(state, (0, 2, 1))
+        # Old pid 1 (label 2) becomes pid 2 (label 3).
+        assert permuted.last_label == 3
+        assert permuted.proposals == (NIL, NIL, "x")
+
+    def test_nil_label_passes_through(self):
+        state = NPacSpec(3).initial_state()
+        assert permute_pac_state(state, (2, 0, 1)).last_label is NIL
+
+    def test_identity_permutation_is_a_fixpoint(self):
+        state = PacState(
+            upset=True, proposals=("v", NIL), last_label=1, value="v"
+        )
+        assert permute_pac_state(state, (0, 1)) == state
+
+
+class TestSymmetryFactories:
+    def test_algorithm2_symmetry_groups_non_distinguished(self):
+        sym = algorithm2_symmetry((1, 0, 0, 0))
+        assert sym is not None
+        assert sym.groups == ((1, 2, 3),)
+        assert "PAC" in sym.object_permuters
+
+    def test_algorithm2_symmetry_none_without_groups(self):
+        assert algorithm2_symmetry((1, 0)) is None
+
+    def test_consensus_symmetry_has_no_object_permuter(self):
+        sym = one_shot_consensus_symmetry((0, 0, 0))
+        assert sym is not None
+        assert sym.groups == ((0, 1, 2),)
+        assert sym.object_permuters == {}
+
+
+class TestReducedExploration:
+    """The E18 state-space instance, quotiented."""
+
+    def test_reduction_shrinks_algorithm2_graph(self):
+        inputs = DacDecisionTask.paper_initial_inputs(4)
+        sym = algorithm2_symmetry(inputs)
+        full = algorithm2_explorer(inputs).explore()
+        reduced = algorithm2_explorer(inputs).explore(symmetry=sym)
+        assert len(reduced) < len(full)
+
+    def test_reduction_preserves_decision_sets(self):
+        inputs = DacDecisionTask.paper_initial_inputs(4)
+        sym = algorithm2_symmetry(inputs)
+        full_explorer = algorithm2_explorer(inputs)
+        full = full_explorer.explore()
+        reduced_explorer = algorithm2_explorer(inputs)
+        reduced = reduced_explorer.explore(symmetry=sym)
+        full_table = full_explorer.decision_table(exploration=full)
+        reduced_table = reduced_explorer.decision_table(exploration=reduced)
+        assert (
+            full_table[full.order_ids[0]]
+            == reduced_table[reduced.order_ids[0]]
+        )
+
+    def test_reduced_safety_check_passes_algorithm2(self):
+        inputs = (1, 0, 0)
+        sym = algorithm2_symmetry(inputs)
+        explorer = algorithm2_explorer(inputs)
+        assert (
+            explorer.check_safety(
+                DacDecisionTask(3), inputs, symmetry=sym
+            )
+            is None
+        )
+
+    def test_witnesses_map_back_to_the_concrete_system(self):
+        # For every quotient node: replaying schedule_to concretely
+        # from source_initial lands on a configuration in the node's
+        # orbit, and permutation_to carries it onto the representative.
+        inputs = (1, 0, 0)
+        sym = algorithm2_symmetry(inputs)
+        explorer = algorithm2_explorer(inputs)
+        reduced = explorer.explore(symmetry=sym)
+        names = explorer.object_names
+        for rep in reduced.order:
+            concrete = reduced.source_initial
+            for edge in reduced.schedule_to(rep):
+                concrete = explorer.step(concrete, edge.pid, edge.choice)
+            canon, _ = sym.canonical(concrete, names)
+            assert canon == rep
+            perm = reduced.permutation_to(rep)
+            assert sym.apply(concrete, perm, names) == rep
+
+    def test_reduced_livelock_analysis_runs_on_quotient_ids(self):
+        # successor_ids of a reduced graph must stay inside the graph
+        # (canonical targets), so graph-level passes work unchanged.
+        inputs = (1, 0, 0)
+        sym = algorithm2_symmetry(inputs)
+        explorer = algorithm2_explorer(inputs)
+        reduced = explorer.explore(symmetry=sym)
+        in_graph = set(reduced.order_ids)
+        for entries in reduced.successor_ids.values():
+            for _edge, tid in entries:
+                assert tid in in_graph
