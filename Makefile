@@ -15,7 +15,7 @@ bench:
 # REPRO_PERF_SCALE=tiny shrinks the instances (CI smoke).
 bench-perf:
 	pytest benchmarks/bench_perf_core.py benchmarks/bench_perf_substrates.py \
-		--benchmark-disable -q
+		benchmarks/bench_perf_parallel.py --benchmark-disable -q
 	@echo "--- BENCH_perf.json ---"
 	@cat BENCH_perf.json
 

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import json
 import os
+import statistics
 import time
-from typing import Callable, Tuple
+from typing import Callable, NamedTuple
 
 _JSON_PATH = os.path.normpath(
     os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_perf.json")
@@ -30,21 +31,35 @@ def perf_scale() -> str:
     return os.environ.get("REPRO_PERF_SCALE", "full")
 
 
-def timed(fn: Callable[[], object], repeats: int = 5) -> Tuple[float, object]:
-    """Best-of-``repeats`` wall time for ``fn`` plus its last result.
+class Timing(NamedTuple):
+    """Wall-time statistics for one benched callable."""
 
-    Best-of is the right statistic for a baseline: it approximates the
-    cost with the least scheduler noise on top.
+    best: float
+    median: float
+    repeats: int
+    result: object
+
+
+def timed(fn: Callable[[], object], repeats: int = 5) -> Timing:
+    """Best-of/median-of-``repeats`` wall time for ``fn`` plus its last result.
+
+    Best-of is the headline statistic for a baseline: it approximates
+    the cost with the least scheduler noise on top. The median rides
+    along so noisy runs are distinguishable from genuinely fast ones,
+    and ``repeats`` records how many samples both came from.
     """
-    best = float("inf")
+    samples = []
     result: object = None
     for _ in range(repeats):
         start = time.perf_counter()
         result = fn()
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best = elapsed
-    return best, result
+        samples.append(time.perf_counter() - start)
+    return Timing(
+        best=min(samples),
+        median=statistics.median(samples),
+        repeats=repeats,
+        result=result,
+    )
 
 
 def record(name: str, **fields: object) -> None:

@@ -35,13 +35,15 @@ class TestPacThroughput:
         def run():
             return spec.run(history)
 
-        wall, _ = timed(run)
+        timing = timed(run)
         record(
             "pac_operation_stream",
             n=8,
             operations=ops,
-            wall_seconds=wall,
-            ops_per_sec=ops / wall,
+            wall_seconds=timing.best,
+            median_wall_seconds=timing.median,
+            repeats=timing.repeats,
+            ops_per_sec=ops / timing.best,
         )
         state, responses = benchmark(run)
         assert len(responses) == ops
@@ -89,14 +91,17 @@ class TestExplorerStateRate:
             )
             return explorer.explore()
 
-        wall, graph = timed(run)
+        timing = timed(run)
+        graph = timing.result
         record(
             "explorer_full_exploration_algorithm2",
             n=n,
             inputs=list(inputs),
             configurations=len(graph),
-            wall_seconds=wall,
-            configs_per_sec=len(graph) / wall,
+            wall_seconds=timing.best,
+            median_wall_seconds=timing.median,
+            repeats=timing.repeats,
+            configs_per_sec=len(graph) / timing.best,
         )
         result = benchmark(run)
         assert result.complete

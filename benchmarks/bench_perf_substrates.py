@@ -53,13 +53,16 @@ class TestObstructionFreePerf:
             )
             return explorer.explore(max_configurations=400_000)
 
-        wall, graph = timed(run, repeats=3)
+        timing = timed(run, repeats=3)
+        graph = timing.result
         record(
             "obstruction_free_exploration",
             rounds=rounds,
             configurations=len(graph),
-            wall_seconds=wall,
-            configs_per_sec=len(graph) / wall,
+            wall_seconds=timing.best,
+            median_wall_seconds=timing.median,
+            repeats=timing.repeats,
+            configs_per_sec=len(graph) / timing.best,
         )
         graph = benchmark(run)
         assert graph.complete
@@ -74,12 +77,15 @@ class TestValencyAnalyzerPerf:
         def run():
             return ValencyAnalyzer(explorer)
 
-        wall, analyzer = timed(run)
+        timing = timed(run)
+        analyzer = timing.result
         record(
             "valency_analyzer_fixpoint",
             n=3,
             configurations=len(analyzer.graph),
-            wall_seconds=wall,
+            wall_seconds=timing.best,
+            median_wall_seconds=timing.median,
+            repeats=timing.repeats,
         )
         analyzer = benchmark(run)
         assert analyzer.summary()
@@ -107,8 +113,10 @@ class TestSymmetryReductionPerf:
             )
             return explorer, explorer.explore(symmetry=symmetry)
 
-        full_wall, (full_explorer, full) = timed(run_full, repeats=3)
-        reduced_wall, (reduced_explorer, reduced) = timed(run_reduced, repeats=3)
+        full_timing = timed(run_full, repeats=3)
+        reduced_timing = timed(run_reduced, repeats=3)
+        full_explorer, full = full_timing.result
+        reduced_explorer, reduced = reduced_timing.result
         full_decisions = full_explorer.decision_table(exploration=full)[
             full.order_ids[0]
         ]
@@ -122,8 +130,11 @@ class TestSymmetryReductionPerf:
             full_configurations=len(full),
             reduced_configurations=len(reduced),
             reduction_ratio=len(full) / len(reduced),
-            full_wall_seconds=full_wall,
-            reduced_wall_seconds=reduced_wall,
+            full_wall_seconds=full_timing.best,
+            full_median_wall_seconds=full_timing.median,
+            reduced_wall_seconds=reduced_timing.best,
+            reduced_median_wall_seconds=reduced_timing.median,
+            repeats=full_timing.repeats,
             decision_sets_equal=full_decisions == reduced_decisions,
         )
         assert len(reduced) < len(full)

@@ -8,7 +8,11 @@
 * :mod:`repro.analysis.properties` — per-run auditors for simulations;
 * :mod:`repro.analysis.intern` / :mod:`repro.analysis.symmetry` — the
   fast-core substrate: dense configuration interning and opt-in
-  symmetry reduction (see ``docs/performance.md``).
+  symmetry reduction (see ``docs/performance.md``);
+* :mod:`repro.analysis.parallel` / :mod:`repro.analysis.cache` — the
+  scale-out substrate: a crash-isolated multiprocessing work pool with
+  deterministic result merging, and a persistent content-addressed
+  store for exploration graphs and suite verdicts.
 """
 
 from .commuting import (
@@ -26,6 +30,22 @@ from .explorer import (
     SafetyCounterexample,
 )
 from .intern import InternTable
+from .cache import (
+    CacheIntegrityError,
+    CacheStats,
+    ExplorationCache,
+    code_salt,
+    explore_cached,
+    fingerprint,
+    graph_digest,
+)
+from .parallel import (
+    VerificationPool,
+    WorkFailure,
+    WorkItem,
+    WorkResult,
+    run_work_items,
+)
 from .symmetry import ProcessSymmetry, groups_by_input
 from .linearizability import (
     LinearizabilityChecker,
@@ -63,8 +83,20 @@ from .valency import (
 
 __all__ = [
     "BIVALENT",
+    "CacheIntegrityError",
+    "CacheStats",
     "CommutingViolation",
     "Configuration",
+    "ExplorationCache",
+    "VerificationPool",
+    "WorkFailure",
+    "WorkItem",
+    "WorkResult",
+    "code_salt",
+    "explore_cached",
+    "fingerprint",
+    "graph_digest",
+    "run_work_items",
     "CriticalConfiguration",
     "CriticalReport",
     "HookStep",

@@ -87,6 +87,11 @@ ABORTED = ("aborted",)
 #: A process permutation: ``perm[i]`` is the new pid of old pid ``i``.
 Permutation = Tuple[int, ...]
 
+#: Status canonicalization for rehydrated graphs: statuses loaded from
+#: a cache or a worker arrive as equal-but-distinct tuples, while the
+#: calculus compares them by identity (``status is RUNNING``).
+_STATUS_SINGLETONS = {RUNNING: RUNNING, HALTED: HALTED, ABORTED: ABORTED}
+
 
 def _decided(value: Value) -> Tuple[str, Value]:
     return ("decided", value)
@@ -117,6 +122,14 @@ class Configuration:
             )
             object.__setattr__(self, "_hash", digest)
             return digest
+
+    def __getstate__(self) -> Dict[str, Hashable]:
+        # The cached hash must never cross a process or disk boundary:
+        # tuple hashes depend on PYTHONHASHSEED, so a pickled _hash
+        # would corrupt dict lookups in the receiving interpreter.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
 
     def decisions(self) -> Dict[ProcessId, Value]:
         """pid → decided value, for the processes decided *in* this
@@ -310,6 +323,88 @@ class ExplorationResult:
 
     def __len__(self) -> int:
         return len(self.order_ids)
+
+    def to_portable(self) -> Dict[str, object]:
+        """A self-contained, picklable rendering of this graph.
+
+        Intern ids are explorer-local, so the portable form re-keys
+        everything by *position*: ``nodes`` lists each configuration's
+        raw field triple (order first, then any extra ids a truncated
+        search referenced but never visited), and edges/parents refer
+        to node positions. The structure is plain tuples/lists/ints in
+        BFS order — its ``repr`` is bit-stable across interpreter runs,
+        which is what :func:`repro.analysis.cache.graph_digest` relies
+        on. Rehydrate with :meth:`Explorer.adopt_portable`.
+        """
+        assert self.intern is not None
+        value = self.intern.value
+        positions: Dict[int, int] = {}
+        node_ids: List[int] = []
+
+        def register(cid: int) -> int:
+            pos = positions.get(cid)
+            if pos is None:
+                pos = len(node_ids)
+                positions[cid] = pos
+                node_ids.append(cid)
+            return pos
+
+        for cid in self.order_ids:
+            register(cid)
+        order_len = len(node_ids)
+        successors = []
+        for cid, entries in self.successor_ids.items():
+            cpos = register(cid)
+            successors.append(
+                (
+                    cpos,
+                    tuple(
+                        (edge.pid, edge.choice, edge.response, register(tid))
+                        for edge, tid in entries
+                    ),
+                )
+            )
+        parents = []
+        for tid, (cid, edge) in self.parent_ids.items():
+            parents.append(
+                (
+                    register(tid),
+                    register(cid),
+                    edge.pid,
+                    edge.choice,
+                    edge.response,
+                )
+            )
+        parent_perms = [
+            (register(cid), perm) for cid, perm in self.parent_perms.items()
+        ]
+        nodes = [
+            (
+                value(cid).process_states,
+                value(cid).statuses,
+                value(cid).object_states,
+            )
+            for cid in node_ids
+        ]
+        source_node = None
+        if self.source_initial is not None:
+            source_node = (
+                self.source_initial.process_states,
+                self.source_initial.statuses,
+                self.source_initial.object_states,
+            )
+        return {
+            "version": 1,
+            "complete": self.complete,
+            "nodes": nodes,
+            "order_len": order_len,
+            "successors": successors,
+            "parents": parents,
+            "reduced": self.reduced,
+            "source_node": source_node,
+            "initial_permutation": self.initial_permutation,
+            "parent_perms": parent_perms,
+        }
 
 
 def _invert(perm: Permutation) -> Permutation:
@@ -577,6 +672,15 @@ class Explorer:
             deltas.append((edge, local, status, new_obj))
         return tuple(deltas)
 
+    def _edge(self, pid: ProcessId, choice: int, response: Value) -> Edge:
+        """The one memoized Edge object for (pid, choice, response)."""
+        key = (pid, choice, response)
+        edge = self._edges.get(key)
+        if edge is None:
+            edge = Edge(pid, choice, response)
+            self._edges[key] = edge
+        return edge
+
     def _intern_triple(self, triple: Tuple) -> int:
         """Intern the configuration with field tuple ``triple``."""
         successor = Configuration(*triple)
@@ -735,6 +839,87 @@ class Explorer:
             reduced=symmetry is not None,
             source_initial=start,
             initial_permutation=initial_perm,
+            parent_perms=parent_perms,
+        )
+
+    def adopt_portable(
+        self, portable: Mapping[str, object]
+    ) -> ExplorationResult:
+        """Rehydrate a :meth:`ExplorationResult.to_portable` graph.
+
+        Every configuration is re-interned into *this* explorer (ids
+        are re-allocated; positions in the portable form map onto the
+        local intern table), statuses are re-canonicalized onto the
+        module singletons (``RUNNING``/``HALTED``/``ABORTED`` are
+        compared by identity throughout the calculus), and — for
+        unreduced graphs — the successor relation is installed into the
+        memo, so every downstream analysis (``schedule_to``, the
+        decision fixpoint, livelock DFS, ``step``) runs on the cached
+        graph without re-deriving a single edge.
+        """
+        nodes = portable["nodes"]
+        new_ids: List[int] = []
+        intern = self._intern
+        for states, statuses, objects in nodes:  # type: ignore[union-attr]
+            canonical_statuses = tuple(
+                _STATUS_SINGLETONS.get(status, status) for status in statuses
+            )
+            config = Configuration(
+                tuple(states), canonical_statuses, tuple(objects)
+            )
+            new_ids.append(intern.intern(config))
+        successor_ids: Dict[int, Tuple[Tuple[Edge, int], ...]] = {}
+        for cpos, entries in portable["successors"]:  # type: ignore[union-attr]
+            cid = new_ids[cpos]
+            mapped = tuple(
+                (self._edge(pid, choice, response), new_ids[tpos])
+                for pid, choice, response, tpos in entries
+            )
+            successor_ids[cid] = mapped
+        reduced = bool(portable["reduced"])
+        if not reduced:
+            # A reduced graph's edges target orbit representatives, not
+            # raw successors — only unreduced relations may seed the
+            # successor memo.
+            for cid, mapped in successor_ids.items():
+                self._succ_cache.setdefault(cid, mapped)
+        parent_ids: Dict[int, Tuple[int, Edge]] = {}
+        for tpos, ppos, pid, choice, response in portable["parents"]:  # type: ignore[union-attr]
+            parent_ids[new_ids[tpos]] = (
+                new_ids[ppos],
+                self._edge(pid, choice, response),
+            )
+        order_ids = new_ids[: portable["order_len"]]  # type: ignore[index]
+        initial = intern.value(order_ids[0])
+        source_initial = initial
+        source_node = portable["source_node"]
+        if source_node is not None:
+            states, statuses, objects = source_node  # type: ignore[misc]
+            canonical_statuses = tuple(
+                _STATUS_SINGLETONS.get(status, status) for status in statuses
+            )
+            source_initial = intern.canonical(
+                Configuration(tuple(states), canonical_statuses, tuple(objects))
+            )
+        parent_perms = {
+            new_ids[pos]: tuple(perm)
+            for pos, perm in portable["parent_perms"]  # type: ignore[union-attr]
+        }
+        initial_permutation = portable["initial_permutation"]
+        return ExplorationResult(
+            initial=initial,
+            complete=bool(portable["complete"]),
+            intern=intern,
+            order_ids=list(order_ids),
+            successor_ids=successor_ids,
+            parent_ids=parent_ids,
+            reduced=reduced,
+            source_initial=source_initial,
+            initial_permutation=(
+                tuple(initial_permutation)
+                if initial_permutation is not None
+                else None
+            ),
             parent_perms=parent_perms,
         )
 

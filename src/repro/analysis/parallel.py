@@ -1,0 +1,313 @@
+"""Parallel verification engine: fan independent checks over processes.
+
+The repo's heavy workloads — candidate-suite refutation, adversary
+sweeps, per-input exhaustive checks, per-input valency descents — are
+embarrassingly parallel collections of *independent* explorations.
+:class:`VerificationPool` fans such work items out over a
+``multiprocessing`` worker pool with:
+
+* **chunked scheduling** — items are batched so each worker round-trip
+  amortizes process dispatch over several explorations;
+* **deterministic result ordering** — results are merged by work-item
+  position (and carry the caller's ``key``), never by completion
+  order, so a pooled sweep reports byte-identical output to the serial
+  sweep;
+* **crash isolation** — an item that raises is returned as a
+  structured :class:`WorkFailure` (type, message, traceback) while the
+  rest of the sweep completes; a worker process that dies outright is
+  reported the same way instead of hanging the sweep.
+
+``jobs <= 1`` executes inline through the *same* item functions, so the
+serial path is the parallel path with one worker — equivalence by
+construction, not by testing alone. Items whose callables cannot be
+pickled (closures, lambdas) also fall back to inline execution.
+
+Work-item callables must be module-level functions: workers import them
+by qualified name. The functions at the bottom of this module are the
+pool-ready forms of the repo's standard sweeps (Algorithm 2 instance
+checks, candidate refutation).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One independent verification: ``fn(*args, **kwargs)``.
+
+    ``key`` is the caller's stable identity for the item (inputs tuple,
+    candidate name, …); results are merged back in submission order and
+    carry the key, so callers never depend on completion order.
+    ``fn`` must be a module-level callable for pooled execution.
+    """
+
+    key: Hashable
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WorkFailure:
+    """A structured record of one item (or its worker) failing."""
+
+    error_type: str
+    message: str
+    traceback: str
+
+    def render(self) -> str:
+        return f"{self.error_type}: {self.message}"
+
+
+@dataclass(frozen=True)
+class WorkResult:
+    """One item's outcome, in submission order."""
+
+    key: Hashable
+    index: int
+    value: Any = None
+    failure: Optional[WorkFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def _run_batch(batch: Sequence[Tuple[int, Callable, tuple, dict]]):
+    """Execute one chunk of items inside a worker (or inline).
+
+    Every exception is captured per item — a bad item never takes the
+    batch (or the sweep) down with it.
+    """
+    out = []
+    for index, fn, args, kwargs in batch:
+        try:
+            out.append((index, None, fn(*args, **dict(kwargs))))
+        except Exception as exc:
+            failure = WorkFailure(
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback.format_exc(),
+            )
+            out.append((index, failure, None))
+    return out
+
+
+def _default_context():
+    """Prefer ``fork`` where available (cheap workers, inherited
+    imports); fall back to the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class VerificationPool:
+    """Run independent verification items, serially or across workers.
+
+    ``jobs``: worker count; ``None``/``0`` means ``os.cpu_count()``;
+    ``<= 1`` executes inline (no subprocesses). ``chunk_size``: items
+    per worker dispatch (default: enough for ~4 chunks per worker).
+
+    After :meth:`run`, ``last_run_parallel`` records whether worker
+    processes were actually used (False for inline execution and for
+    the unpicklable-item fallback).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        mp_context=None,
+    ) -> None:
+        if jobs is None or jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self._mp_context = mp_context
+        self.last_run_parallel = False
+
+    def _chunks(
+        self, tagged: List[Tuple[int, Callable, tuple, dict]]
+    ) -> List[List[Tuple[int, Callable, tuple, dict]]]:
+        size = self.chunk_size
+        if size is None or size <= 0:
+            size = max(1, (len(tagged) + self.jobs * 4 - 1) // (self.jobs * 4))
+        return [tagged[i : i + size] for i in range(0, len(tagged), size)]
+
+    def run(self, items: Sequence[WorkItem]) -> List[WorkResult]:
+        """Execute every item; results in submission order.
+
+        The merge is by item position — completion order never leaks
+        into the result list, which is what makes pooled sweeps
+        byte-identical to serial ones.
+        """
+        tagged = [
+            (index, item.fn, tuple(item.args), dict(item.kwargs))
+            for index, item in enumerate(items)
+        ]
+        self.last_run_parallel = False
+        if self.jobs <= 1 or len(tagged) <= 1:
+            raw = _run_batch(tagged)
+        else:
+            raw = self._run_pooled(tagged)
+        by_index: Dict[int, Tuple[Optional[WorkFailure], Any]] = {
+            index: (failure, value) for index, failure, value in raw
+        }
+        results: List[WorkResult] = []
+        for index, item in enumerate(items):
+            failure, value = by_index[index]
+            results.append(
+                WorkResult(
+                    key=item.key, index=index, value=value, failure=failure
+                )
+            )
+        return results
+
+    def _run_pooled(self, tagged):
+        chunks = self._chunks(tagged)
+        try:
+            pickle.dumps(chunks)
+        except Exception:
+            # Closures/lambdas cannot cross a process boundary; the
+            # inline path runs the same item functions, so results are
+            # identical — only the parallelism is lost.
+            return _run_batch(tagged)
+        context = self._mp_context or _default_context()
+        raw = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(chunks)), mp_context=context
+        ) as executor:
+            futures = [executor.submit(_run_batch, chunk) for chunk in chunks]
+            for chunk, future in zip(chunks, futures):
+                try:
+                    raw.extend(future.result())
+                except Exception as exc:
+                    # The worker process itself died (hard crash,
+                    # BrokenProcessPool): report every item of the
+                    # chunk as a structured failure instead of hanging
+                    # or aborting the sweep.
+                    failure = WorkFailure(
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=traceback.format_exc(),
+                    )
+                    for index, _fn, _args, _kwargs in chunk:
+                        raw.append((index, failure, None))
+        self.last_run_parallel = True
+        return raw
+
+
+def run_work_items(
+    items: Sequence[WorkItem],
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[WorkResult]:
+    """One-shot convenience wrapper around :class:`VerificationPool`."""
+    return VerificationPool(jobs=jobs, chunk_size=chunk_size).run(items)
+
+
+# -- pool-ready sweep functions ---------------------------------------------
+#
+# Module-level so workers can import them by qualified name. Each
+# rebuilds its instance from primitive arguments — explorers and
+# automata never cross the process boundary.
+
+
+def algorithm2_instance_check(
+    n: int,
+    inputs: Tuple[Any, ...],
+    symmetry: bool = False,
+    max_configurations: int = 400_000,
+) -> Dict[str, Any]:
+    """Full Theorem 4.1 check of one ``(n, inputs)`` instance.
+
+    Safety over all schedules, solo termination for every pid, plus the
+    graph size — the per-instance body of ``repro check-algorithm2``.
+    The counterexample (if any) is returned *rendered*, so the parent
+    process never needs the worker's explorer.
+    """
+    from ..core.pac import NPacSpec
+    from ..protocols.dac_from_pac import (
+        algorithm2_processes,
+        algorithm2_symmetry,
+    )
+    from ..protocols.tasks import DacDecisionTask
+    from .explorer import Explorer
+    from .render import render_counterexample
+
+    inputs = tuple(inputs)
+    task = DacDecisionTask(n)
+    explorer = Explorer({"PAC": NPacSpec(n)}, algorithm2_processes(inputs))
+    sym = algorithm2_symmetry(inputs) if symmetry else None
+    counterexample = explorer.check_safety(
+        task, inputs, max_configurations=max_configurations, symmetry=sym
+    )
+    rendered = None
+    if counterexample is not None:
+        rendered = render_counterexample(explorer, counterexample)
+    solo_failures = []
+    if counterexample is None:
+        for pid in range(n):
+            if not explorer.solo_termination(pid):
+                solo_failures.append(pid)
+    configurations = len(
+        explorer.explore(max_configurations=max_configurations, symmetry=sym)
+    )
+    return {
+        "inputs": inputs,
+        "ok": counterexample is None and not solo_failures,
+        "counterexample": rendered,
+        "solo_failures": solo_failures,
+        "configurations": configurations,
+    }
+
+
+def candidate_outcome(index: int) -> Dict[str, Any]:
+    """Refute (or validate) candidate ``index`` of ``all_candidates()``.
+
+    Returns the candidate's name, expected failure, observed outcome
+    (``safety`` / ``liveness`` / ``none``) and the rendered witness —
+    the per-candidate body of ``repro refute``.
+    """
+    from ..protocols.candidates import all_candidates
+    from .explorer import Explorer
+    from .render import render_counterexample, render_livelock
+
+    candidate = all_candidates()[index]
+    explorer = Explorer(candidate.objects, candidate.processes)
+    counterexample = explorer.check_safety(candidate.task, candidate.inputs)
+    livelock = explorer.find_livelock() if counterexample is None else None
+    if counterexample is not None:
+        outcome = "safety"
+        rendered = render_counterexample(explorer, counterexample)
+    elif livelock is not None:
+        outcome = "liveness"
+        rendered = render_livelock(explorer, livelock)
+    else:
+        outcome = "none"
+        rendered = "no violation found over all schedules (correct protocol)"
+    return {
+        "name": candidate.name,
+        "expected": candidate.expected_failure,
+        "outcome": outcome,
+        "rendered": rendered,
+    }

@@ -12,19 +12,48 @@ The experiments keep repeating a verification recipe:
 the protocol-facing tests added after its introduction (earlier tests
 spell the recipe out — both forms are kept on purpose, the explicit
 ones double as documentation).
+
+Scale-out
+---------
+
+Every phase is a collection of *independent* work items — one per
+(phase, inputs) or (phase, seed) — executed through
+:class:`~repro.analysis.parallel.VerificationPool`:
+
+* ``jobs=1`` (default) runs the items inline, in order;
+* ``jobs=N`` fans them over ``N`` worker processes; results merge by
+  item key in submission order, so the verdict is byte-identical to
+  the serial one (the determinism contract in ``docs/performance.md``);
+* an item that *raises* becomes a structured failure folded into its
+  phase's outcome (``ok=False`` with the error named in the detail)
+  instead of aborting the whole sweep;
+* with ``cache=`` an :class:`~repro.analysis.cache.ExplorationCache`,
+  successful item results are persisted content-addressed — a warm
+  rerun of the same sweep skips re-exploration entirely.
+
+Pooled execution requires ``make_system`` to be picklable (a
+module-level factory); closures silently fall back to inline
+execution with identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import SpecificationError
 from ..protocols.tasks import DecisionTask
-from ..runtime.system import System
 from ..types import Value, require
-from .explorer import Explorer
-from .properties import audit_task_run
+from .cache import ExplorationCache, fingerprint
+from .parallel import VerificationPool, WorkItem, WorkResult
 
 
 @dataclass(frozen=True)
@@ -47,7 +76,148 @@ class SuiteVerdict:
         return all(phase.ok for phase in self.phases)
 
     def failed_phases(self) -> List[PhaseOutcome]:
+        """The failing phases, in recipe (insertion) order."""
         return [phase for phase in self.phases if not phase.ok]
+
+
+# -- pool-ready phase item functions ----------------------------------------
+#
+# Module-level so a worker process can import them by qualified name;
+# each rebuilds its system from the factory inside the worker.
+
+
+def _safety_item(
+    make_system: Callable,
+    task: DecisionTask,
+    inputs: Tuple[Value, ...],
+    max_configurations: int,
+) -> bool:
+    """True iff ``inputs`` admits a safety violation."""
+    from .explorer import Explorer
+
+    objects, processes = make_system(tuple(inputs))
+    explorer = Explorer(objects, processes)
+    counterexample = explorer.check_safety(
+        task, inputs, max_configurations=max_configurations
+    )
+    return counterexample is not None
+
+
+def _livelock_item(
+    make_system: Callable,
+    inputs: Tuple[Value, ...],
+    max_configurations: int,
+) -> bool:
+    """True iff ``inputs`` admits an adversarial non-deciding loop."""
+    from .explorer import Explorer
+
+    objects, processes = make_system(tuple(inputs))
+    explorer = Explorer(objects, processes)
+    return explorer.find_livelock(max_configurations=max_configurations) is not None
+
+
+def _solo_item(
+    make_system: Callable,
+    num_processes: int,
+    inputs: Tuple[Value, ...],
+) -> Tuple[int, ...]:
+    """The pids that fail solo termination at ``inputs``."""
+    from .explorer import Explorer
+
+    objects, processes = make_system(tuple(inputs))
+    explorer = Explorer(objects, processes)
+    return tuple(
+        pid
+        for pid in range(num_processes)
+        if not explorer.solo_termination(pid)
+    )
+
+
+def _simulation_item(
+    make_system: Callable,
+    task: DecisionTask,
+    inputs: Tuple[Value, ...],
+    seed: int,
+    max_steps: int,
+) -> bool:
+    """True iff the seeded adversarial run passes its audit."""
+    from ..runtime.scheduler import SeededScheduler
+    from ..runtime.system import System
+    from .properties import audit_task_run
+
+    objects, processes = make_system(tuple(inputs))
+    system = System(objects, processes)
+    history = system.run(SeededScheduler(seed), max_steps=max_steps)
+    return audit_task_run(task, inputs, history).ok
+
+
+def _task_identity(task: DecisionTask) -> Tuple:
+    """A deterministic cache identity for a task (no default reprs)."""
+    return (
+        type(task).__module__,
+        type(task).__qualname__,
+        task.num_processes,
+        getattr(task, "distinguished", None),
+    )
+
+
+def _factory_identity(make_system: Callable) -> str:
+    """A best-effort cache identity for a protocol factory."""
+    module = getattr(make_system, "__module__", "?")
+    qualname = getattr(
+        make_system, "__qualname__", type(make_system).__qualname__
+    )
+    return f"{module}.{qualname}"
+
+
+def _run_items(
+    items: List[WorkItem],
+    pool: VerificationPool,
+    cache: Optional[ExplorationCache],
+    cache_components: Dict[Any, Dict[str, Any]],
+) -> Dict[Any, WorkResult]:
+    """Execute items (cache-first), returning results keyed by item key.
+
+    Cached values resolve without touching the pool; misses run
+    (pooled or inline) and successful results are stored. Failures are
+    never cached — a deterministic failure recomputes on every run, so
+    a fixed environment immediately clears it.
+    """
+    resolved: Dict[Any, WorkResult] = {}
+    to_run: List[WorkItem] = []
+    fingerprints: Dict[Any, str] = {}
+    if cache is not None:
+        for item in items:
+            fp = fingerprint(**cache_components[item.key])
+            fingerprints[item.key] = fp
+            payload = cache.get(fp)
+            if payload is not None:
+                resolved[item.key] = WorkResult(
+                    key=item.key, index=len(resolved), value=payload["value"]
+                )
+            else:
+                to_run.append(item)
+    else:
+        to_run = items
+    for result in pool.run(to_run):
+        resolved[result.key] = result
+        if cache is not None and result.ok:
+            cache.put(fingerprints[result.key], {"value": result.value})
+    return resolved
+
+
+def _phase_errors(
+    keys: Sequence[Any], resolved: Dict[Any, WorkResult]
+) -> List[Tuple[Any, str]]:
+    return [
+        (key, resolved[key].failure.render())
+        for key in keys
+        if not resolved[key].ok
+    ]
+
+
+def _error_suffix(errors: List[Tuple[Any, str]]) -> str:
+    return f"; errors at {errors}" if errors else ""
 
 
 def verify_task_protocol(
@@ -60,91 +230,171 @@ def verify_task_protocol(
     simulation_seeds: int = 10,
     max_steps: int = 4000,
     max_configurations: int = 400_000,
+    jobs: int = 1,
+    cache: Optional[ExplorationCache] = None,
+    cache_key: Optional[str] = None,
 ) -> SuiteVerdict:
     """Run the standard verification recipe for one protocol.
 
     ``make_system(inputs)`` builds ``(object table, process list)``.
     ``exhaustive_inputs`` defaults to the task's own assignment space.
+    ``jobs`` fans the per-input/per-seed checks over worker processes;
+    ``cache`` persists successful phase results (``cache_key`` names
+    the protocol — defaults to the factory's qualified name).
     """
     verdict = SuiteVerdict()
 
-    inputs_list = list(
-        exhaustive_inputs
-        if exhaustive_inputs is not None
-        else task.input_assignments()
-    )
+    inputs_list = [
+        tuple(inputs)
+        for inputs in (
+            exhaustive_inputs
+            if exhaustive_inputs is not None
+            else task.input_assignments()
+        )
+    ]
     require(bool(inputs_list), SpecificationError, "no input assignments")
 
-    # Phase 1: exhaustive safety.
-    bad_inputs = []
-    for inputs in inputs_list:
-        objects, processes = make_system(tuple(inputs))
-        explorer = Explorer(objects, processes)
-        counterexample = explorer.check_safety(
-            task, inputs, max_configurations=max_configurations
+    pool = VerificationPool(jobs=jobs)
+    if cache_key is None:
+        cache_key = _factory_identity(make_system)
+    base_components = {
+        "suite": "verify_task_protocol",
+        "protocol": cache_key,
+        "task": _task_identity(task),
+        "max_configurations": max_configurations,
+    }
+
+    items: List[WorkItem] = []
+    components: Dict[Any, Dict[str, Any]] = {}
+
+    def add_item(phase: str, subkey: Tuple, fn: Callable, args: Tuple) -> Any:
+        key = (phase, subkey)
+        items.append(WorkItem(key=key, fn=fn, args=args))
+        parts = dict(base_components)
+        parts["phase"] = phase
+        parts["subkey"] = subkey
+        components[key] = parts
+        return key
+
+    safety_keys = [
+        add_item(
+            "exhaustive-safety",
+            (inputs,),
+            _safety_item,
+            (make_system, task, inputs, max_configurations),
         )
-        if counterexample is not None:
-            bad_inputs.append(tuple(inputs))
+        for inputs in inputs_list
+    ]
+    livelock_keys = (
+        [
+            add_item(
+                "no-livelock",
+                (inputs,),
+                _livelock_item,
+                (make_system, inputs, max_configurations),
+            )
+            for inputs in inputs_list
+        ]
+        if require_wait_free
+        else []
+    )
+    solo_keys = (
+        [
+            add_item(
+                "solo-termination",
+                (inputs,),
+                _solo_item,
+                (make_system, task.num_processes, inputs),
+            )
+            for inputs in inputs_list
+        ]
+        if require_solo_termination
+        else []
+    )
+    simulation_keys = (
+        [
+            add_item(
+                "randomized-adversaries",
+                (tuple(simulation_inputs), seed),
+                _simulation_item,
+                (make_system, task, tuple(simulation_inputs), seed, max_steps),
+            )
+            for seed in range(simulation_seeds)
+        ]
+        if simulation_inputs is not None
+        else []
+    )
+
+    resolved = _run_items(items, pool, cache, components)
+
+    # Phase 1: exhaustive safety.
+    bad_inputs = [
+        key[1][0]
+        for key in safety_keys
+        if resolved[key].ok and resolved[key].value
+    ]
+    errors = _phase_errors(safety_keys, resolved)
     verdict.phases.append(
         PhaseOutcome(
             "exhaustive-safety",
-            not bad_inputs,
+            not bad_inputs and not errors,
             f"{len(inputs_list)} assignments"
-            + (f"; violations at {bad_inputs}" if bad_inputs else ""),
+            + (f"; violations at {bad_inputs}" if bad_inputs else "")
+            + _error_suffix(errors),
         )
     )
 
     # Phase 2: starvation-freedom (wait-free protocols only).
     if require_wait_free:
-        starving = []
-        for inputs in inputs_list:
-            objects, processes = make_system(tuple(inputs))
-            explorer = Explorer(objects, processes)
-            if explorer.find_livelock(max_configurations=max_configurations):
-                starving.append(tuple(inputs))
+        starving = [
+            key[1][0]
+            for key in livelock_keys
+            if resolved[key].ok and resolved[key].value
+        ]
+        errors = _phase_errors(livelock_keys, resolved)
         verdict.phases.append(
             PhaseOutcome(
                 "no-livelock",
-                not starving,
+                not starving and not errors,
                 f"checked {len(inputs_list)} assignments"
-                + (f"; loops at {starving}" if starving else ""),
+                + (f"; loops at {starving}" if starving else "")
+                + _error_suffix(errors),
             )
         )
 
     # Phase 3: solo termination.
     if require_solo_termination:
-        stuck = []
-        for inputs in inputs_list:
-            objects, processes = make_system(tuple(inputs))
-            explorer = Explorer(objects, processes)
-            for pid in range(task.num_processes):
-                if not explorer.solo_termination(pid):
-                    stuck.append((tuple(inputs), pid))
+        stuck = [
+            (key[1][0], pid)
+            for key in solo_keys
+            if resolved[key].ok
+            for pid in resolved[key].value
+        ]
+        errors = _phase_errors(solo_keys, resolved)
         verdict.phases.append(
             PhaseOutcome(
                 "solo-termination",
-                not stuck,
+                not stuck and not errors,
                 f"every process, every assignment"
-                + (f"; stuck: {stuck}" if stuck else ""),
+                + (f"; stuck: {stuck}" if stuck else "")
+                + _error_suffix(errors),
             )
         )
 
     # Phase 4: randomized adversaries on the nominated instance.
     if simulation_inputs is not None:
-        from ..runtime.scheduler import SeededScheduler
-
-        failures = 0
-        for seed in range(simulation_seeds):
-            objects, processes = make_system(tuple(simulation_inputs))
-            system = System(objects, processes)
-            history = system.run(SeededScheduler(seed), max_steps=max_steps)
-            if not audit_task_run(task, simulation_inputs, history).ok:
-                failures += 1
+        failures = sum(
+            1
+            for key in simulation_keys
+            if resolved[key].ok and not resolved[key].value
+        )
+        errors = _phase_errors(simulation_keys, resolved)
         verdict.phases.append(
             PhaseOutcome(
                 "randomized-adversaries",
-                failures == 0,
-                f"{simulation_seeds} seeds, {failures} failures",
+                failures == 0 and not errors,
+                f"{simulation_seeds} seeds, {failures} failures"
+                + _error_suffix(errors),
             )
         )
 

@@ -10,7 +10,15 @@ Commands:
 * ``power`` — print the set agreement power table;
 * ``list-candidates`` — name the candidate suite;
 * ``lint`` — the protocol-aware static analysis pass (replayability
-  contract R001–R006, see :mod:`repro.lint`).
+  contract R001–R006, see :mod:`repro.lint`);
+* ``cache stats|clear`` — inspect or drop the persistent exploration
+  cache (see :mod:`repro.analysis.cache`).
+
+Sweep commands (``check-algorithm2``, ``refute``) accept ``--jobs N``
+to fan their independent instances over a worker pool and (for
+``check-algorithm2``) ``--cache`` to reuse persisted per-instance
+verdicts; both paths report byte-identical results to the serial,
+uncached run.
 
 Every command exits 0 on "the paper's claim reproduced" and 1
 otherwise, so the CLI doubles as a smoke-check in CI.
@@ -23,7 +31,6 @@ import sys
 from typing import List, Optional, Sequence
 
 from .analysis.explorer import Explorer
-from .analysis.render import render_counterexample, render_livelock
 from .core.pac import NPacSpec
 from .core.power import (
     combined_pac_power,
@@ -33,7 +40,7 @@ from .core.power import (
     strong_sa_power,
 )
 from .protocols.candidates import all_candidates
-from .protocols.dac_from_pac import algorithm2_processes, algorithm2_symmetry
+from .protocols.dac_from_pac import algorithm2_processes
 from .protocols.tasks import DacDecisionTask
 from .types import op
 
@@ -54,22 +61,67 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 
 
 def _cmd_check_algorithm2(args: argparse.Namespace) -> int:
+    from .analysis.cache import ExplorationCache, fingerprint
+    from .analysis.parallel import (
+        VerificationPool,
+        WorkItem,
+        algorithm2_instance_check,
+    )
+
     n = args.n
     task = DacDecisionTask(n)
-    total_configs = 0
-    for inputs in task.input_assignments():
-        explorer = Explorer({"PAC": NPacSpec(n)}, algorithm2_processes(inputs))
-        symmetry = algorithm2_symmetry(inputs) if args.symmetry else None
-        counterexample = explorer.check_safety(task, inputs, symmetry=symmetry)
-        if counterexample is not None:
-            print(f"VIOLATION at inputs {inputs}:")
-            print(render_counterexample(explorer, counterexample))
+    inputs_list = [tuple(inputs) for inputs in task.input_assignments()]
+    cache = ExplorationCache(args.cache_dir) if args.cache else None
+
+    # Cache-first: warm instances resolve without any exploration (or
+    # worker dispatch); only misses go to the pool.
+    resolved = {}
+    fingerprints = {}
+    to_run = []
+    for inputs in inputs_list:
+        if cache is not None:
+            fp = fingerprint(
+                cmd="check-algorithm2",
+                n=n,
+                inputs=inputs,
+                symmetry=bool(args.symmetry),
+                max_configurations=400_000,
+            )
+            fingerprints[inputs] = fp
+            payload = cache.get(fp)
+            if payload is not None:
+                resolved[inputs] = payload["value"]
+                continue
+        to_run.append(
+            WorkItem(
+                key=inputs,
+                fn=algorithm2_instance_check,
+                args=(n, inputs, bool(args.symmetry)),
+            )
+        )
+    pool = VerificationPool(jobs=args.jobs)
+    for result in pool.run(to_run):
+        if not result.ok:
+            print(f"ERROR at inputs {result.key}: {result.failure.render()}")
             return 1
-        for pid in range(n):
-            if not explorer.solo_termination(pid):
-                print(f"SOLO NON-TERMINATION: pid {pid}, inputs {inputs}")
-                return 1
-        total_configs += len(explorer.explore(symmetry=symmetry))
+        resolved[result.key] = result.value
+        if cache is not None:
+            cache.put(fingerprints[result.key], {"value": result.value})
+
+    total_configs = 0
+    for inputs in inputs_list:
+        record = resolved[inputs]
+        if record["counterexample"] is not None:
+            print(f"VIOLATION at inputs {inputs}:")
+            print(record["counterexample"])
+            return 1
+        if record["solo_failures"]:
+            pid = record["solo_failures"][0]
+            print(f"SOLO NON-TERMINATION: pid {pid}, inputs {inputs}")
+            return 1
+        total_configs += record["configurations"]
+    if cache is not None:
+        print(f"cache: hits={cache.hits} misses={cache.misses}")
     reduced = " (symmetry-reduced)" if args.symmetry else ""
     print(f"Theorem 4.1 @ n={n}: all {2 ** n} input assignments, "
           f"{total_configs} configurations{reduced} — "
@@ -78,36 +130,62 @@ def _cmd_check_algorithm2(args: argparse.Namespace) -> int:
 
 
 def _cmd_refute(args: argparse.Namespace) -> int:
+    from .analysis.parallel import (
+        VerificationPool,
+        WorkItem,
+        candidate_outcome,
+    )
+
     candidates = all_candidates()
+    indices = list(range(len(candidates)))
     if args.candidate is not None:
-        candidates = [c for c in candidates if args.candidate in c.name]
-        if not candidates:
+        indices = [
+            index
+            for index in indices
+            if args.candidate in candidates[index].name
+        ]
+        if not indices:
             print(f"no candidate matching {args.candidate!r}; "
                   f"see list-candidates")
             return 1
+    pool = VerificationPool(jobs=args.jobs)
+    results = pool.run(
+        [
+            WorkItem(key=index, fn=candidate_outcome, args=(index,))
+            for index in indices
+        ]
+    )
     status = 0
-    for candidate in candidates:
-        explorer = Explorer(candidate.objects, candidate.processes)
-        counterexample = explorer.check_safety(
-            candidate.task, candidate.inputs
-        )
-        livelock = explorer.find_livelock() if counterexample is None else None
+    for result in results:
+        candidate = candidates[result.key]
         print(f"\n=== {candidate.name} (expected: "
               f"{candidate.expected_failure}) ===")
-        if counterexample is not None:
-            outcome = "safety"
-            print(render_counterexample(explorer, counterexample))
-        elif livelock is not None:
-            outcome = "liveness"
-            print(render_livelock(explorer, livelock))
-        else:
-            outcome = "none"
-            print("no violation found over all schedules (correct protocol)")
-        if outcome != candidate.expected_failure:
-            print(f"!! MISMATCH: expected {candidate.expected_failure}, "
-                  f"got {outcome}")
+        if not result.ok:
+            print(f"!! ERROR: {result.failure.render()}")
+            status = 1
+            continue
+        record = result.value
+        print(record["rendered"])
+        if record["outcome"] != record["expected"]:
+            print(f"!! MISMATCH: expected {record['expected']}, "
+                  f"got {record['outcome']}")
             status = 1
     return status
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .analysis.cache import ExplorationCache
+
+    cache = ExplorationCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats.root}")
+        print(f"entries:    {stats.entries}")
+        print(f"bytes:      {stats.total_bytes}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} entries from {cache.root}")
+    return 0
 
 
 def _cmd_separation(args: argparse.Namespace) -> int:
@@ -198,6 +276,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    """The scale-out flags shared by sweep commands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the input sweep (default: 1, serial; "
+        "results are merged deterministically either way)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse (and persist) per-instance verdicts from the "
+        "content-addressed exploration cache",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_false",
+        dest="cache",
+        help="disable the exploration cache (default)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -219,12 +325,31 @@ def build_parser() -> argparse.ArgumentParser:
         "Algorithm 2: non-distinguished equal-input processes are "
         "interchangeable; see docs/performance.md)",
     )
+    _add_scale_arguments(check)
 
     refute = commands.add_parser(
         "refute", help="refute the doomed candidate suite with witnesses"
     )
     refute.add_argument("--candidate", default=None,
                         help="substring of a candidate name")
+    refute.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the candidate sweep (default: 1, "
+        "serial; results are merged deterministically either way)",
+    )
+
+    cache = commands.add_parser(
+        "cache", help="persistent exploration cache maintenance"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--dir",
+        dest="cache_dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
 
     separation = commands.add_parser(
         "separation", help="run the Corollary 6.6 pipeline at level n"
@@ -260,6 +385,7 @@ _HANDLERS = {
     "list-candidates": _cmd_list_candidates,
     "ledger": _cmd_ledger,
     "lint": _cmd_lint,
+    "cache": _cmd_cache,
 }
 
 

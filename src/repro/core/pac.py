@@ -68,6 +68,14 @@ class PacState:
             object.__setattr__(self, "_hash", digest)
             return digest
 
+    def __getstate__(self) -> dict:
+        # Never pickle the cached hash: it is PYTHONHASHSEED-dependent
+        # and would be stale in any other interpreter (worker processes,
+        # the persistent exploration cache).
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     @staticmethod
     def initial(n: int) -> "PacState":
         return PacState(

@@ -114,6 +114,14 @@ class Operation:
             object.__setattr__(self, "_hash", digest)
             return digest
 
+    def __getstate__(self) -> dict:
+        # Never pickle the cached hash: it is PYTHONHASHSEED-dependent
+        # and would be stale in any other interpreter (worker processes,
+        # the persistent exploration cache).
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     def __repr__(self) -> str:
         rendered = ", ".join(repr(a) for a in self.args)
         return f"{self.name}({rendered})"

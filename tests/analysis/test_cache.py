@@ -1,0 +1,210 @@
+"""Tests for the persistent content-addressed exploration cache.
+
+The cache's contract (``docs/performance.md``): a hit always means the
+exact same code answered the exact same question before (code salt in
+every fingerprint); corrupt entries are dropped as misses, never
+returned; warm exploration hits are digest-validated against the value
+stored at compute time, so a stale entry fails loudly instead of
+silently changing a verdict.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis.cache import (
+    CacheIntegrityError,
+    ExplorationCache,
+    code_salt,
+    explore_cached,
+    fingerprint,
+    graph_digest,
+)
+from repro.analysis.explorer import Explorer, RUNNING
+from repro.core.pac import NPacSpec
+from repro.protocols.dac_from_pac import algorithm2_processes
+from repro.protocols.tasks import DacDecisionTask
+
+
+def _explorer(n=2, inputs=(1, 0)):
+    return Explorer({"PAC": NPacSpec(n)}, algorithm2_processes(inputs))
+
+
+class TestFingerprint:
+    def test_stable_for_equal_components(self):
+        assert fingerprint(n=3, inputs=(0, 1)) == fingerprint(
+            n=3, inputs=(0, 1)
+        )
+
+    def test_insensitive_to_mapping_order(self):
+        assert fingerprint(a=1, b=2) == fingerprint(b=2, a=1)
+        assert fingerprint(opts={"x": 1, "y": 2}) == fingerprint(
+            opts={"y": 2, "x": 1}
+        )
+
+    def test_sensitive_to_every_component(self):
+        base = fingerprint(n=3, inputs=(0, 1), symmetry=False)
+        assert base != fingerprint(n=4, inputs=(0, 1), symmetry=False)
+        assert base != fingerprint(n=3, inputs=(1, 0), symmetry=False)
+        assert base != fingerprint(n=3, inputs=(0, 1), symmetry=True)
+
+    def test_sets_canonicalized(self):
+        assert fingerprint(values={3, 1, 2}) == fingerprint(values={2, 3, 1})
+
+    def test_code_salt_is_memoized_hex(self):
+        salt = code_salt()
+        assert salt == code_salt()
+        assert len(salt) == 64
+        int(salt, 16)
+
+
+class TestEntryStore:
+    def test_round_trip(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "c")
+        fp = fingerprint(question="round-trip")
+        assert cache.get(fp) is None
+        cache.put(fp, {"answer": (1, 2, 3)})
+        assert cache.get(fp) == {"answer": (1, 2, 3)}
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_corrupt_entry_is_dropped_as_miss(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "c")
+        fp = fingerprint(question="corrupt")
+        cache.put(fp, "payload")
+        path = cache._entry_path(fp)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(fp) is None
+        assert not path.exists()
+
+    def test_tampered_payload_is_dropped_as_miss(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "c")
+        fp = fingerprint(question="tamper")
+        cache.put(fp, "honest payload")
+        path = cache._entry_path(fp)
+        digest, _payload_bytes = pickle.loads(path.read_bytes())
+        forged = pickle.dumps((digest, pickle.dumps("forged payload")))
+        path.write_bytes(forged)
+        assert cache.get(fp) is None
+
+    def test_get_or_compute_counts(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "c")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        components = {"question": "memo"}
+        assert cache.get_or_compute(components, compute) == ("value", False)
+        assert cache.get_or_compute(components, compute) == ("value", True)
+        assert len(calls) == 1
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "c")
+        for index in range(3):
+            cache.put(fingerprint(index=index), index)
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.total_bytes > 0
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+
+    def test_env_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "from-env"))
+        assert ExplorationCache().root == tmp_path / "from-env"
+
+
+class TestExploreCached:
+    COMPONENTS = {"protocol": "algorithm2", "n": 2, "inputs": (1, 0)}
+
+    def test_cold_then_warm_round_trip(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "c")
+        cold_explorer = _explorer()
+        cold, hit = explore_cached(cold_explorer, cache, self.COMPONENTS)
+        assert hit is False
+
+        warm_explorer = _explorer()
+        warm, hit = explore_cached(warm_explorer, cache, self.COMPONENTS)
+        assert hit is True
+        assert warm.complete == cold.complete
+        assert len(warm.order) == len(cold.order)
+        assert warm.order == cold.order
+        for config in cold.order:
+            assert warm_explorer.decision_values(
+                config
+            ) == cold_explorer.decision_values(config)
+            assert warm.schedule_to(config) == cold.schedule_to(config)
+
+    def test_rehydrated_statuses_are_singletons(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "c")
+        explore_cached(_explorer(), cache, self.COMPONENTS)
+        warm_explorer = _explorer()
+        warm, _ = explore_cached(warm_explorer, cache, self.COMPONENTS)
+        # The calculus compares statuses by identity; rehydration must
+        # re-canonicalize them or every ``status is RUNNING`` check
+        # silently fails.
+        initial = warm.order[0]
+        assert all(status is RUNNING for status in initial.statuses)
+
+    def test_safety_verdict_identical_on_warm_graph(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "c")
+        task = DacDecisionTask(2)
+        cold_explorer = _explorer()
+        explore_cached(cold_explorer, cache, self.COMPONENTS)
+        warm_explorer = _explorer()
+        explore_cached(warm_explorer, cache, self.COMPONENTS)
+        assert warm_explorer.check_safety(task, (1, 0)) == (
+            cold_explorer.check_safety(task, (1, 0))
+        )
+
+    def test_decision_table_rides_along(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "c")
+        cold_explorer = _explorer()
+        cold, _ = explore_cached(
+            cold_explorer, cache, self.COMPONENTS, include_decision_table=True
+        )
+        cold_table = cold_explorer.decision_table(exploration=cold)
+
+        warm_explorer = _explorer()
+        warm, hit = explore_cached(
+            warm_explorer, cache, self.COMPONENTS, include_decision_table=True
+        )
+        assert hit is True
+        # The cached per-position sets pre-seed the fixpoint table.
+        assert warm_explorer._decision_sets
+        warm_table = warm_explorer.decision_table(exploration=warm)
+        assert {
+            warm.order[pos]: warm_table[cid]
+            for pos, cid in enumerate(warm.order_ids)
+        } == {
+            cold.order[pos]: cold_table[cid]
+            for pos, cid in enumerate(cold.order_ids)
+        }
+
+    def test_stale_entry_fails_loudly(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "c")
+        explore_cached(_explorer(), cache, self.COMPONENTS)
+        [path] = cache._entry_files()
+        digest, payload_bytes = pickle.loads(path.read_bytes())
+        payload = pickle.loads(payload_bytes)
+        payload["graph_digest"] = "0" * 64
+        cache.put(path.stem, payload)
+        with pytest.raises(CacheIntegrityError):
+            explore_cached(_explorer(), cache, self.COMPONENTS)
+
+    def test_no_cache_means_plain_exploration(self):
+        explorer = _explorer()
+        result, hit = explore_cached(explorer, None, self.COMPONENTS)
+        assert hit is False
+        assert result.complete
+
+    def test_graph_digest_depends_on_graph(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "c")
+        small, _ = explore_cached(_explorer(), cache, self.COMPONENTS)
+        other_components = {"protocol": "algorithm2", "n": 2, "inputs": (0, 0)}
+        other, _ = explore_cached(
+            _explorer(inputs=(0, 0)), cache, other_components
+        )
+        assert graph_digest(small.to_portable()) != graph_digest(
+            other.to_portable()
+        )

@@ -20,6 +20,18 @@ def one_shot_factory(inputs):
     )
 
 
+def constant_42_factory(inputs):
+    # Ignores its inputs: every process proposes (and decides) 42.
+    return (
+        {"CONS": MConsensusSpec(len(inputs))},
+        one_shot_consensus_processes([42] * len(inputs)),
+    )
+
+
+def exploding_factory(inputs):
+    raise SpecificationError("protocol under test refuses to build")
+
+
 class TestHappyPath:
     def test_one_shot_consensus_passes_all_phases(self):
         verdict = verify_task_protocol(
@@ -108,3 +120,59 @@ class TestFailureDetection:
             verify_task_protocol(
                 ConsensusTask(2), one_shot_factory, exhaustive_inputs=[]
             )
+
+    def test_raising_phase_becomes_failed_outcome(self):
+        # A factory that raises must not crash the suite: every phase
+        # that depends on it reports ok=False with the error named in
+        # its detail, and the verdict aggregates to not-ok.
+        verdict = verify_task_protocol(
+            ConsensusTask(2),
+            exploding_factory,
+            simulation_inputs=(0, 1),
+            simulation_seeds=2,
+        )
+        assert not verdict.ok
+        assert len(verdict.failed_phases()) == len(verdict.phases)
+        for phase in verdict.phases:
+            assert "errors at" in phase.detail
+            assert "SpecificationError" in phase.detail
+            assert "refuses to build" in phase.detail
+
+    def test_failing_audit_reported(self):
+        # Deciding 42 is safe when 42 is the proposal (exhaustive
+        # phases pass) but violates validity against the simulated
+        # inputs (0, 1) — only the audit phase catches the lie.
+        verdict = verify_task_protocol(
+            ConsensusTask(2),
+            constant_42_factory,
+            exhaustive_inputs=[(42, 42)],
+            simulation_inputs=(0, 1),
+            simulation_seeds=4,
+        )
+        assert not verdict.ok
+        failed = verdict.failed_phases()
+        assert [phase.phase for phase in failed] == ["randomized-adversaries"]
+        assert "4 failures" in failed[0].detail
+
+    def test_failed_phases_in_recipe_order(self):
+        # Against honest inputs the constant-42 protocol fails both the
+        # exhaustive safety check and the audit; failed_phases() must
+        # list them in recipe (insertion) order, with the passing
+        # phases in between filtered out.
+        verdict = verify_task_protocol(
+            ConsensusTask(2),
+            constant_42_factory,
+            exhaustive_inputs=[(0, 1)],
+            simulation_inputs=(0, 1),
+            simulation_seeds=2,
+        )
+        assert [phase.phase for phase in verdict.phases] == [
+            "exhaustive-safety",
+            "no-livelock",
+            "solo-termination",
+            "randomized-adversaries",
+        ]
+        assert [phase.phase for phase in verdict.failed_phases()] == [
+            "exhaustive-safety",
+            "randomized-adversaries",
+        ]

@@ -1,0 +1,231 @@
+"""The scale-out substrate is an optimization, not a semantics change.
+
+Mirrors ``test_fast_core_equivalence.py`` for PR 3's two engines:
+
+1. **pooled == serial** — ``verify_task_protocol`` with ``jobs=2``
+   must produce byte-identical phases to ``jobs=1``, and the digest
+   over a pooled Algorithm 2 sweep must equal the serial one;
+2. **warm == cold** — a cache-rehydrated exploration must reproduce
+   the pre-fast-core ``SEED_DIGEST`` bit-for-bit, and a cache written
+   under one ``PYTHONHASHSEED`` must warm-hit with identical digests
+   under another (entries are content-addressed by repr, never by
+   ``hash()``);
+3. **failures stay uncached** — a failing suite run recomputes on the
+   next run instead of persisting the failure.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cache import ExplorationCache, explore_cached, graph_digest
+from repro.analysis.explorer import Explorer
+from repro.analysis.parallel import (
+    VerificationPool,
+    WorkItem,
+    algorithm2_instance_check,
+)
+from repro.analysis.suite import verify_task_protocol
+from repro.core.pac import NPacSpec
+from repro.objects.consensus import MConsensusSpec
+from repro.protocols.consensus import one_shot_consensus_processes
+from repro.protocols.dac_from_pac import algorithm2_processes
+from repro.protocols.obstruction_free import (
+    adopt_commit_round_objects,
+    obstruction_free_processes,
+)
+from repro.protocols.tasks import ConsensusTask, DacDecisionTask
+
+from tests.integration.test_fast_core_equivalence import SEED_DIGEST
+
+
+def one_shot_factory(inputs):
+    return (
+        {"CONS": MConsensusSpec(len(inputs))},
+        one_shot_consensus_processes(list(inputs)),
+    )
+
+
+def _sweep_digest(results):
+    blob = hashlib.sha256()
+    for result in results:
+        blob.update(repr((result.key, result.value)).encode())
+    return blob.hexdigest()
+
+
+class TestPooledEqualsSerial:
+    def test_suite_phases_identical(self):
+        serial = verify_task_protocol(
+            ConsensusTask(2),
+            one_shot_factory,
+            simulation_inputs=(0, 1),
+            simulation_seeds=3,
+        )
+        pooled = verify_task_protocol(
+            ConsensusTask(2),
+            one_shot_factory,
+            simulation_inputs=(0, 1),
+            simulation_seeds=3,
+            jobs=2,
+        )
+        assert serial.phases == pooled.phases
+        assert serial.ok and pooled.ok
+
+    def test_sweep_digest_identical(self):
+        task = DacDecisionTask(2)
+        items = [
+            WorkItem(
+                key=tuple(inputs),
+                fn=algorithm2_instance_check,
+                args=(2, tuple(inputs)),
+            )
+            for inputs in task.input_assignments()
+        ]
+        serial = VerificationPool(jobs=1).run(items)
+        pooled = VerificationPool(jobs=2).run(items)
+        assert _sweep_digest(serial) == _sweep_digest(pooled)
+
+
+class TestWarmEqualsCold:
+    def _instances(self):
+        # The three E18 instances SEED_DIGEST was computed over.
+        return [
+            (
+                "algorithm2_n3",
+                lambda: Explorer(
+                    {"PAC": NPacSpec(3)}, algorithm2_processes((1, 0, 0))
+                ),
+            ),
+            (
+                "one_shot_consensus",
+                lambda: Explorer(
+                    {"CONS": MConsensusSpec(2)},
+                    one_shot_consensus_processes([0, 1]),
+                ),
+            ),
+            (
+                "obstruction_free",
+                lambda: Explorer(
+                    adopt_commit_round_objects(2, 2),
+                    obstruction_free_processes((0, 1), max_rounds=2),
+                ),
+            ),
+        ]
+
+    def _digest_via_cache(self, cache):
+        """TestBaselineDigest.digest(), but every graph through the cache."""
+        blob = hashlib.sha256()
+        tasks = {
+            "algorithm2_n3": (DacDecisionTask(3), (1, 0, 0)),
+            "one_shot_consensus": (ConsensusTask(2), (0, 1)),
+            "obstruction_free": (ConsensusTask(2), (0, 1)),
+        }
+        hits = []
+        for name, make_explorer in self._instances():
+            explorer = make_explorer()
+            graph, hit = explore_cached(
+                explorer,
+                cache,
+                {"instance": name},
+                max_configurations=400_000,
+            )
+            hits.append(hit)
+            blob.update(name.encode())
+            for config in graph.order:
+                blob.update(
+                    repr(
+                        (
+                            config.process_states,
+                            config.statuses,
+                            config.object_states,
+                        )
+                    ).encode()
+                )
+                blob.update(repr(graph.schedule_to(config)).encode())
+                blob.update(
+                    repr(sorted(explorer.decision_values(config))).encode()
+                )
+            task, inputs = tasks[name]
+            blob.update(repr(explorer.check_safety(task, inputs)).encode())
+        return blob.hexdigest(), hits
+
+    def test_rehydrated_graphs_reproduce_seed_digest(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "cache")
+        cold_digest, cold_hits = self._digest_via_cache(cache)
+        assert cold_hits == [False, False, False]
+        assert cold_digest == SEED_DIGEST
+
+        warm_digest, warm_hits = self._digest_via_cache(cache)
+        assert warm_hits == [True, True, True]
+        assert warm_digest == SEED_DIGEST
+
+    def test_warm_hit_across_hash_seeds(self, tmp_path):
+        # A cache written under one PYTHONHASHSEED must warm-hit with a
+        # bit-identical graph under another: fingerprints and digests
+        # are repr-based, and pickled configurations shed their cached
+        # (seed-dependent) ``hash()`` values at the disk boundary.
+        program = (
+            "import sys; "
+            "from repro.analysis.cache import ExplorationCache, "
+            "explore_cached, graph_digest; "
+            "from repro.analysis.explorer import Explorer; "
+            "from repro.core.pac import NPacSpec; "
+            "from repro.protocols.dac_from_pac import algorithm2_processes; "
+            "explorer = Explorer("
+            "{'PAC': NPacSpec(3)}, algorithm2_processes((1, 0, 0))); "
+            f"cache = ExplorationCache({str(tmp_path / 'shared')!r}); "
+            "graph, hit = explore_cached("
+            "explorer, cache, {'instance': 'seedtest'}); "
+            "print(hit, graph_digest(graph.to_portable()))"
+        )
+        outputs = []
+        for seed in ("0", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (env.get("PYTHONPATH"), *sys.path) if p
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(result.stdout.split())
+        (cold_hit, cold_digest), (warm_hit, warm_digest) = outputs
+        assert (cold_hit, warm_hit) == ("False", "True")
+        assert cold_digest == warm_digest
+
+
+class TestSuiteCaching:
+    def test_cold_then_warm_verdicts_identical(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "cache")
+        kwargs = dict(
+            simulation_inputs=(0, 1),
+            simulation_seeds=3,
+            cache=cache,
+            cache_key="one-shot-consensus",
+        )
+        cold = verify_task_protocol(
+            ConsensusTask(2), one_shot_factory, **kwargs
+        )
+        stores = cache.stores
+        assert stores > 0 and cache.hits == 0
+
+        warm = verify_task_protocol(
+            ConsensusTask(2), one_shot_factory, **kwargs
+        )
+        assert warm.phases == cold.phases
+        assert cache.hits == stores  # every item resolved from disk
+        assert cache.stores == stores  # and nothing was recomputed
+
+    def test_uncached_equals_cached(self, tmp_path):
+        cache = ExplorationCache(tmp_path / "cache")
+        plain = verify_task_protocol(ConsensusTask(2), one_shot_factory)
+        cached = verify_task_protocol(
+            ConsensusTask(2), one_shot_factory, cache=cache
+        )
+        assert plain.phases == cached.phases
