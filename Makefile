@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-perf experiments examples lint verify clean
+.PHONY: install test bench bench-perf experiments examples lint fuzz verify clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,7 +15,8 @@ bench:
 # REPRO_PERF_SCALE=tiny shrinks the instances (CI smoke).
 bench-perf:
 	pytest benchmarks/bench_perf_core.py benchmarks/bench_perf_substrates.py \
-		benchmarks/bench_perf_parallel.py --benchmark-disable -q
+		benchmarks/bench_perf_parallel.py benchmarks/bench_perf_fuzz.py \
+		--benchmark-disable -q
 	@echo "--- BENCH_perf.json ---"
 	@cat BENCH_perf.json
 
@@ -32,6 +33,12 @@ examples:
 # Protocol-aware static analysis (replayability contract R001-R006).
 lint:
 	python -m repro lint
+
+# Seeded fuzz smoke: a doomed candidate must be caught, shrunk, and
+# replayed; a correct one must survive (same campaigns CI runs).
+fuzz:
+	python -m repro fuzz --candidate "one 2-SA" --seed 1234 --budget 300
+	python -m repro fuzz --candidate "2-consensus from queue" --seed 1234 --budget 300
 
 # The reproduction smoke-check: every CLI command must exit 0.
 verify:

@@ -1,0 +1,79 @@
+"""Performance benches for the fuzz engine.
+
+Two entries in ``BENCH_perf.json``:
+
+* ``fuzz_executions_per_second`` — raw gene-interpretation throughput
+  on a *correct* target (the queue-backed 2-consensus control), so
+  every execution runs to quiescence and no finding short-circuits the
+  campaign. Campaigns are seed-pinned, so coverage and corpus growth
+  are asserted identical across the timing repeats.
+* ``fuzz_time_to_first_violation`` — median wall time (via ``timed``)
+  for a fresh campaign against the strong-2-SA doomed candidate to
+  find, shrink, and strictly replay its first safety violation.
+
+``REPRO_PERF_SCALE=tiny`` shrinks the throughput budget for the CI
+smoke job.
+"""
+
+from _perf_report import perf_scale, record, timed
+from repro.fuzz.engine import fuzz_campaign
+
+_CLEAN = ("candidate", 6)  # 2-consensus from queue + registers
+_DOOMED = ("candidate", 1)  # 2-consensus from one strong 2-SA
+
+
+def _throughput_budget():
+    return 100 if perf_scale() == "tiny" else 600
+
+
+class TestFuzzThroughput:
+    def test_bench_executions_per_second(self, benchmark):
+        budget = _throughput_budget()
+
+        def campaign():
+            return fuzz_campaign(_CLEAN, seed=1234, budget=budget)
+
+        timing = timed(campaign, repeats=3)
+        report = timing.result
+        assert report.findings == ()
+        assert report.executions == budget
+
+        record(
+            "fuzz_executions_per_second",
+            target=list(_CLEAN),
+            budget=budget,
+            wall_seconds=timing.best,
+            median_wall_seconds=timing.median,
+            repeats=timing.repeats,
+            executions_per_second=budget / timing.best,
+            coverage=report.coverage,
+            corpus_added=report.corpus_added,
+        )
+
+        result = benchmark(campaign)
+        assert result.executions == budget
+
+    def test_bench_time_to_first_violation(self, benchmark):
+        def campaign():
+            return fuzz_campaign(_DOOMED, seed=1234, budget=300)
+
+        timing = timed(campaign, repeats=5)
+        report = timing.result
+        assert report.findings
+        finding = report.findings[0]
+        assert finding.replay_matches is True
+
+        record(
+            "fuzz_time_to_first_violation",
+            target=list(_DOOMED),
+            budget=300,
+            wall_seconds=timing.best,
+            median_wall_seconds=timing.median,
+            repeats=timing.repeats,
+            first_finding_execution=report.first_finding_execution,
+            shrunk_steps=len(finding.shrunk_schedule),
+            replay_matches=finding.replay_matches,
+        )
+
+        result = benchmark(campaign)
+        assert result.findings

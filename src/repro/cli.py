@@ -12,7 +12,12 @@ Commands:
 * ``lint`` — the protocol-aware static analysis pass (replayability
   contract R001–R006, see :mod:`repro.lint`);
 * ``cache stats|clear`` — inspect or drop the persistent exploration
-  cache (see :mod:`repro.analysis.cache`).
+  cache (see :mod:`repro.analysis.cache`);
+* ``fuzz`` — seeded coverage-guided schedule/response fuzzing of the
+  candidate suite (or Algorithm 2 instances), with automatic
+  counterexample shrinking and strict replay verification (see
+  :mod:`repro.fuzz` and ``docs/fuzzing.md``). ``--seed``-pinned runs
+  are bit-reproducible, including across ``--jobs`` values.
 
 Sweep commands (``check-algorithm2``, ``refute``) accept ``--jobs N``
 to fan their independent instances over a worker pool and (for
@@ -169,6 +174,84 @@ def _cmd_refute(args: argparse.Namespace) -> int:
         if record["outcome"] != record["expected"]:
             print(f"!! MISMATCH: expected {record['expected']}, "
                   f"got {record['outcome']}")
+            status = 1
+    return status
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .analysis.render import render_schedule
+    from .fuzz import FuzzCorpus, FuzzExecutor, fuzz_campaign
+    from .fuzz.target import target_from_spec
+
+    if args.algorithm2_n is not None:
+        n = args.algorithm2_n
+        specs = [
+            ("algorithm2", n, tuple(inputs))
+            for inputs in DacDecisionTask(n).input_assignments()
+        ]
+    else:
+        candidates = all_candidates()
+        indices = list(range(len(candidates)))
+        if args.candidate is not None:
+            indices = [
+                index
+                for index in indices
+                if args.candidate in candidates[index].name
+            ]
+            if not indices:
+                print(f"no candidate matching {args.candidate!r}; "
+                      f"see list-candidates")
+                return 1
+        specs = [("candidate", index) for index in indices]
+
+    corpus = FuzzCorpus(args.corpus_dir) if args.corpus_dir else None
+    status = 0
+    for spec in specs:
+        target = target_from_spec(spec)
+        report = fuzz_campaign(
+            spec,
+            seed=args.seed,
+            budget=args.budget,
+            shards=args.shards,
+            jobs=args.jobs,
+            max_steps=args.max_steps,
+            shrink=args.shrink,
+            corpus=corpus,
+        )
+        print(f"\n=== {target.name} (expected: "
+              f"{target.expected_failure}) ===")
+        print(f"fuzz: seed={report.seed} budget={report.budget} "
+              f"shards={report.shards} executions={report.executions} "
+              f"coverage={report.coverage} "
+              f"corpus+={report.corpus_added} "
+              f"(seeded {report.corpus_seeded})")
+        observed = report.observed_failure()
+        renderer = FuzzExecutor(target, max_steps=args.max_steps).explorer
+        if not report.findings:
+            print(f"no violation found in {report.executions} "
+                  f"fuzzed runs")
+        for finding in report.findings:
+            print(f"FOUND {finding.kind} at execution "
+                  f"{finding.execution} (shard {finding.shard}): "
+                  f"{len(finding.schedule)} steps")
+            if finding.shrunk_schedule is None:
+                print(render_schedule(renderer, finding.schedule))
+                continue
+            replay = "✓" if finding.replay_matches else "DIVERGED"
+            print(f"shrunk {len(finding.schedule)} -> "
+                  f"{len(finding.shrunk_schedule)} steps; "
+                  f"strict replay {replay}")
+            print("shrunk schedule:")
+            print(render_schedule(renderer, finding.shrunk_schedule))
+            for violation in finding.shrunk_violations or ():
+                print(f"  violation: {violation}")
+            if finding.replay_matches is False:
+                for mismatch in finding.replay_mismatches:
+                    print(f"  !! replay mismatch: {mismatch}")
+                status = 1
+        if observed != target.expected_failure:
+            print(f"!! MISMATCH: expected {target.expected_failure}, "
+                  f"fuzzing observed {observed}")
             status = 1
     return status
 
@@ -340,6 +423,77 @@ def build_parser() -> argparse.ArgumentParser:
         "serial; results are merged deterministically either way)",
     )
 
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="coverage-guided schedule/response fuzzing with automatic "
+        "counterexample shrinking (see docs/fuzzing.md)",
+    )
+    fuzz.add_argument(
+        "--candidate",
+        default=None,
+        help="substring of a candidate name (default: whole suite)",
+    )
+    fuzz.add_argument(
+        "--algorithm2-n",
+        type=int,
+        default=None,
+        help="fuzz every Algorithm 2 input assignment at size n "
+        "instead of the candidate suite",
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=300,
+        help="fuzzed executions per target (default: 300)",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign seed; runs are bit-reproducible per seed "
+        "(default: 0)",
+    )
+    fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the shard fan-out (default: 1; any "
+        "value yields identical results)",
+    )
+    fuzz.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="independent sub-campaigns per target (default: "
+        "min(4, budget); part of the deterministic partition, "
+        "unlike --jobs)",
+    )
+    fuzz.add_argument(
+        "--corpus-dir",
+        default=None,
+        help="persist interesting gene sequences here and seed future "
+        "campaigns from them (default: no persistence)",
+    )
+    fuzz.add_argument(
+        "--shrink",
+        action="store_true",
+        default=True,
+        help="delta-debug findings to minimal replayable schedules "
+        "(default: on)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_false",
+        dest="shrink",
+        help="keep findings as discovered",
+    )
+    fuzz.add_argument(
+        "--max-steps",
+        type=int,
+        default=64,
+        help="maximum schedule length per fuzzed run (default: 64)",
+    )
+
     cache = commands.add_parser(
         "cache", help="persistent exploration cache maintenance"
     )
@@ -386,6 +540,7 @@ _HANDLERS = {
     "ledger": _cmd_ledger,
     "lint": _cmd_lint,
     "cache": _cmd_cache,
+    "fuzz": _cmd_fuzz,
 }
 
 

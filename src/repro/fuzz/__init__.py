@@ -1,0 +1,63 @@
+"""Coverage-guided schedule/response fuzzing (``repro fuzz``).
+
+Exhaustive exploration proves the paper's theorems at small ``n``; the
+fuzzer extends every safety check beyond exhaustive reach by *sampling*
+the same run set Gafni's "set of runs" framing assigns to an object:
+seeded random schedules plus adversarial nondeterministic-response
+choices, guided by novel-interned-configuration coverage, with every
+finding delta-debugged to a minimal schedule and round-tripped through
+the strict scripted replay machinery. See ``docs/fuzzing.md``.
+
+Layering:
+
+* :mod:`repro.fuzz.target` — what can be fuzzed (candidates,
+  Algorithm 2 instances), rebuildable from portable specs;
+* :mod:`repro.fuzz.executor` — deterministic gene interpretation and
+  intern-table coverage;
+* :mod:`repro.fuzz.corpus` — persistent content-addressed corpus
+  (cache-style ``<fp[:2]>/<fp>.json`` layout);
+* :mod:`repro.fuzz.shrink` — fixpoint ddmin + strict replay bridge;
+* :mod:`repro.fuzz.engine` — seeded shards fanned over the
+  verification pool, merged deterministically.
+"""
+
+from .corpus import CorpusStats, FuzzCorpus, corpus_fingerprint
+from .executor import CYCLE, SAFETY, FuzzExecutor, GeneRun, Genes
+from .engine import (
+    FuzzFinding,
+    FuzzReport,
+    fuzz_campaign,
+    mutate,
+    run_shard,
+    shard_seed,
+)
+from .shrink import replay_shrunk, shrink_genes
+from .target import (
+    FuzzTarget,
+    algorithm2_target,
+    candidate_target,
+    target_from_spec,
+)
+
+__all__ = [
+    "CYCLE",
+    "SAFETY",
+    "CorpusStats",
+    "FuzzCorpus",
+    "FuzzExecutor",
+    "FuzzFinding",
+    "FuzzReport",
+    "FuzzTarget",
+    "GeneRun",
+    "Genes",
+    "algorithm2_target",
+    "candidate_target",
+    "corpus_fingerprint",
+    "fuzz_campaign",
+    "mutate",
+    "replay_shrunk",
+    "run_shard",
+    "shard_seed",
+    "shrink_genes",
+    "target_from_spec",
+]

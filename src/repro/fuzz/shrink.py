@@ -1,0 +1,109 @@
+"""Delta-debugging shrinker: minimal gene sequences, replayable output.
+
+:func:`shrink_genes` reduces a violating gene sequence while preserving
+its finding *kind* (``"safety"`` stays a safety violation, ``"cycle"``
+stays an in-run livelock). Because genes are interpreted modulo the
+live option counts (see :mod:`repro.fuzz.executor`), every candidate
+reduction is executable — the predicate is simply "re-run it and check
+the kind", never "is this schedule well-formed".
+
+The algorithm is ddmin-style, driven to a *fixpoint*:
+
+1. truncate to the genes actually consumed (the executor reports it);
+2. delete contiguous chunks, window sizes halving from ``len // 2``
+   down to 1, greedily keeping any deletion that preserves the kind;
+3. canonicalize surviving genes toward ``(0, 0)`` componentwise.
+
+The passes repeat until one full sweep changes nothing. Termination is
+structural (every accepted step strictly shrinks the sequence or
+lexicographically lowers it), and the fixpoint is what makes shrinking
+**idempotent**: ``shrink(shrink(g)) == shrink(g)``, because the second
+call re-tries exactly the transformations the first call already
+exhausted. Both properties are pinned by
+``tests/property/test_hypothesis_fuzz_shrink.py``.
+
+Shrinking yields genes; :func:`replay_shrunk` turns the shrunk run's
+edge list into the strict scripted round trip of
+:mod:`repro.analysis.replay` (``oracle_script`` →
+``replay_counterexample`` → step-by-step diff), so every shrunk
+counterexample is a byte-replayable artifact, not just a smaller input.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..analysis.replay import ReplayReport, verify_replay
+from .executor import FuzzExecutor, GeneRun, Genes
+
+
+def _matches(executor: FuzzExecutor, genes: Genes, kind: str) -> bool:
+    return executor.execute(genes).kind == kind
+
+
+def shrink_genes(
+    executor: FuzzExecutor, genes: Genes, kind: Optional[str] = None
+) -> Genes:
+    """The fixpoint reduction of ``genes`` preserving finding ``kind``.
+
+    ``kind`` defaults to the sequence's own finding kind; passing a
+    non-violating sequence returns it truncated but otherwise unchanged
+    (there is nothing to preserve).
+    """
+    genes = tuple(tuple(gene) for gene in genes)
+    run = executor.execute(genes)
+    if kind is None:
+        kind = run.kind
+    if kind is None:
+        return genes[: run.steps]
+    genes = genes[: run.steps]
+    changed = True
+    while changed:
+        changed = False
+        # Pass 1: chunk deletion, coarse to fine.
+        size = max(1, len(genes) // 2)
+        while size >= 1:
+            start = 0
+            while start + size <= len(genes):
+                trial = genes[:start] + genes[start + size :]
+                if _matches(executor, trial, kind):
+                    genes = trial
+                    changed = True
+                else:
+                    start += size
+            size //= 2
+        # Pass 2: canonicalize gene components toward zero.
+        for index, (scheduler_gene, choice_gene) in enumerate(genes):
+            for variant in (
+                (0, 0),
+                (0, choice_gene),
+                (scheduler_gene, 0),
+            ):
+                if variant == (scheduler_gene, choice_gene):
+                    continue
+                trial = genes[:index] + (variant,) + genes[index + 1 :]
+                if _matches(executor, trial, kind):
+                    genes = trial
+                    changed = True
+                    break
+        # Pass 3: drop genes the shrunk run no longer consumes.
+        steps = executor.execute(genes).steps
+        if steps < len(genes):
+            genes = genes[:steps]
+            changed = True
+    return genes
+
+
+def replay_shrunk(
+    executor: FuzzExecutor, genes: Genes
+) -> Tuple[GeneRun, ReplayReport]:
+    """Execute ``genes`` and round-trip the run through strict replay.
+
+    The returned report's ``matches`` is the replayability guarantee:
+    the live :class:`~repro.runtime.system.System`, driven by scripted
+    adversaries in strict mode, reproduced the shrunk schedule edge for
+    edge (any divergence raises or is listed in ``mismatches``).
+    """
+    run = executor.execute(genes)
+    report = verify_replay(executor.explorer, run.edges)
+    return run, report

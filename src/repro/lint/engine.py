@@ -32,7 +32,16 @@ SEVERITIES = ("warning", "error")
 
 #: Path segments that assign a module its protocol "role". Fixture
 #: trees mirror these segment names so rules scope identically there.
-ROLES = ("protocols", "analysis", "runtime", "objects", "core", "workloads", "lint")
+ROLES = (
+    "protocols",
+    "analysis",
+    "runtime",
+    "objects",
+    "core",
+    "workloads",
+    "lint",
+    "fuzz",
+)
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE

@@ -48,7 +48,10 @@ class DeterminismRule(Rule):
     severity = "error"
     title = "replay determinism (no global RNG, clocks, id(), set order)"
 
-    SCOPE = {"protocols", "analysis", "runtime"}
+    # ``fuzz`` is in scope: fuzzed runs are replay evidence exactly like
+    # explorer witnesses, so the subsystem obeys the same determinism
+    # contract (seeded RNG instances only, no clocks, no set iteration).
+    SCOPE = {"protocols", "analysis", "runtime", "fuzz"}
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if module.role not in self.SCOPE:

@@ -13,6 +13,14 @@ sweep random workloads rather than the handful of hand-written ones:
 * :func:`bundle_workloads` — ``propose(v, k)`` traffic over an SA
   bundle's levels;
 * :func:`pac_workloads` — label-disciplined propose/decide pairs.
+
+Each family salts its RNG with its own name, so two families sharing a
+``base_seed`` draw *disjoint* streams: before the salt,
+``register_workloads(2, k, seed)`` and ``snapshot_workloads(2, k, seed)``
+made identical write/read vs update/scan coin flips, which silently
+correlated "independent" sweeps. String seeding is sha512-based in
+CPython, so the salted streams are stable across runs and
+``PYTHONHASHSEED`` values.
 """
 
 from __future__ import annotations
@@ -23,14 +31,15 @@ from typing import Dict, List, Sequence
 from ..types import Operation, ProcessId, op
 
 
-def _rng(seed: int) -> random.Random:
-    return random.Random(seed)
+def _rng(seed: int, family: str) -> random.Random:
+    """A seeded RNG salted per workload family (seed-disjointness)."""
+    return random.Random(f"{family}:{seed}")
 
 
 def queue_workloads(
     num_processes: int, ops_per_process: int, seed: int = 0
 ) -> Dict[ProcessId, List[Operation]]:
-    rng = _rng(seed)
+    rng = _rng(seed, "queue")
     workloads: Dict[ProcessId, List[Operation]] = {}
     for pid in range(num_processes):
         operations: List[Operation] = []
@@ -46,7 +55,7 @@ def queue_workloads(
 def register_workloads(
     num_processes: int, ops_per_process: int, seed: int = 0
 ) -> Dict[ProcessId, List[Operation]]:
-    rng = _rng(seed)
+    rng = _rng(seed, "register")
     workloads: Dict[ProcessId, List[Operation]] = {}
     for pid in range(num_processes):
         operations: List[Operation] = []
@@ -62,7 +71,7 @@ def register_workloads(
 def counter_workloads(
     num_processes: int, ops_per_process: int, seed: int = 0
 ) -> Dict[ProcessId, List[Operation]]:
-    rng = _rng(seed)
+    rng = _rng(seed, "counter")
     return {
         pid: [
             op("fetch_and_add", rng.randint(1, 5))
@@ -75,7 +84,7 @@ def counter_workloads(
 def snapshot_workloads(
     num_processes: int, ops_per_process: int, seed: int = 0
 ) -> Dict[ProcessId, List[Operation]]:
-    rng = _rng(seed)
+    rng = _rng(seed, "snapshot")
     workloads: Dict[ProcessId, List[Operation]] = {}
     for pid in range(num_processes):
         operations: List[Operation] = []
@@ -94,7 +103,7 @@ def bundle_workloads(
     ops_per_process: int,
     seed: int = 0,
 ) -> Dict[ProcessId, List[Operation]]:
-    rng = _rng(seed)
+    rng = _rng(seed, "bundle")
     workloads: Dict[ProcessId, List[Operation]] = {}
     for pid in range(num_processes):
         operations = [
@@ -111,7 +120,7 @@ def pac_workloads(
     """Label-disciplined PAC traffic: process ``pid`` works label
     ``(pid % n_labels) + 1`` in propose/decide pairs — legal per label,
     adversarially interleavable across processes."""
-    rng = _rng(seed)
+    rng = _rng(seed, "pac")
     workloads: Dict[ProcessId, List[Operation]] = {}
     for pid in range(num_processes):
         label = (pid % n_labels) + 1

@@ -1,0 +1,107 @@
+"""Planted-bug detection corpus: the fuzzer must catch every doomed
+candidate within a pinned seed and budget.
+
+Every entry of :func:`repro.protocols.candidates.all_candidates` is a
+protocol the paper's theory dooms (or, for the two control entries,
+proves correct). This sweep pins the fuzzer's end-to-end contract:
+
+* doomed candidates: a finding of the expected kind arrives within the
+  pinned budget, its shrunk schedule still violates, and the strict
+  scripted replay reproduces it edge for edge —
+  ``ReplayDivergenceError`` must not fire (it would propagate out of
+  the campaign as an exception and fail the test);
+* control candidates: the same budget finds nothing.
+
+The (seed, budget, max_steps) triple is part of the repository's
+regression surface: if a refactor of candidates, explorer, or fuzzer
+changes discovery behaviour, this file is where it shows up.
+"""
+
+import pytest
+
+from repro.fuzz.engine import fuzz_campaign
+from repro.fuzz.executor import CYCLE, SAFETY, FuzzExecutor
+from repro.fuzz.target import candidate_target
+from repro.protocols.candidates import all_candidates
+
+# Pinned campaign parameters. At this seed every doomed candidate is
+# found well inside the budget (first findings land within the first
+# few dozen executions); the budget is sized with generous headroom so
+# benign drift in mutation order does not flip the sweep.
+SEED = 1234
+BUDGET = 300
+MAX_STEPS = 64
+
+CANDIDATES = all_candidates()
+_EXPECTED_KIND = {"safety": SAFETY, "liveness": CYCLE}
+
+DOOMED = [
+    index
+    for index, candidate in enumerate(CANDIDATES)
+    if candidate.expected_failure != "none"
+]
+CONTROLS = [
+    index
+    for index, candidate in enumerate(CANDIDATES)
+    if candidate.expected_failure == "none"
+]
+
+
+def _campaign(index):
+    return fuzz_campaign(
+        ("candidate", index), seed=SEED, budget=BUDGET, max_steps=MAX_STEPS
+    )
+
+
+def _param_id(index):
+    return f"{index}-{CANDIDATES[index].expected_failure}"
+
+
+class TestDoomedCandidates:
+    @pytest.mark.parametrize("index", DOOMED, ids=_param_id)
+    def test_violation_found_within_budget(self, index):
+        report = _campaign(index)
+        expected = CANDIDATES[index].expected_failure
+        assert report.findings, (
+            f"candidate {index} ({CANDIDATES[index].name}) survived "
+            f"{BUDGET} executions at seed {SEED}"
+        )
+        assert report.observed_failure() == expected
+        assert report.findings[0].kind == _EXPECTED_KIND[expected]
+        assert report.first_finding_execution is not None
+        assert report.first_finding_execution < BUDGET
+
+    @pytest.mark.parametrize("index", DOOMED, ids=_param_id)
+    def test_shrunk_schedule_still_violates(self, index):
+        report = _campaign(index)
+        finding = report.findings[0]
+        assert finding.shrunk_genes is not None
+        assert len(finding.shrunk_genes) <= len(finding.genes)
+        # Independent re-execution of the shrunk genes on a fresh
+        # executor reproduces the same finding kind.
+        executor = FuzzExecutor(
+            candidate_target(index), max_steps=MAX_STEPS
+        )
+        rerun = executor.execute(finding.shrunk_genes)
+        assert rerun.kind == finding.kind
+        if finding.kind == SAFETY:
+            assert finding.shrunk_violations
+
+    @pytest.mark.parametrize("index", DOOMED, ids=_param_id)
+    def test_shrunk_schedule_replays_strictly(self, index):
+        # replay ran inside the campaign in strict mode: a divergence
+        # would have raised ReplayDivergenceError out of fuzz_campaign.
+        report = _campaign(index)
+        finding = report.findings[0]
+        assert finding.replay_matches is True
+        assert finding.replay_mismatches == ()
+        assert finding.shrunk_schedule
+
+
+class TestControlCandidates:
+    @pytest.mark.parametrize("index", CONTROLS, ids=_param_id)
+    def test_no_findings_on_correct_protocols(self, index):
+        report = _campaign(index)
+        assert report.findings == ()
+        assert report.observed_failure() == "none"
+        assert report.executions == BUDGET

@@ -1,0 +1,89 @@
+"""Tests for the ddmin shrinker and its strict-replay bridge."""
+
+from repro.fuzz.executor import CYCLE, SAFETY, FuzzExecutor
+from repro.fuzz.shrink import replay_shrunk, shrink_genes
+from repro.fuzz.target import candidate_target
+
+# Candidate 1: 2-consensus from one strong 2-SA (safety-doomed).
+STRONG_SA = 1
+# Candidate 3: 3-DAC with a spinning fallback (liveness-doomed).
+SPIN = 3
+
+
+def _padded_safety_genes():
+    # A known two-step disagreement written with deliberately large
+    # gene values plus an unconsumed tail: still executable (genes are
+    # interpreted modulo the live option counts) but far from minimal.
+    return ((14, 6), (8, 3), (99, 7), (5, 5))
+
+
+class TestShrinkSafety:
+    def test_shrunk_still_violates_with_same_kind(self):
+        executor = FuzzExecutor(candidate_target(STRONG_SA))
+        genes = _padded_safety_genes()
+        assert executor.execute(genes).kind == SAFETY
+        shrunk = shrink_genes(executor, genes)
+        assert executor.execute(shrunk).kind == SAFETY
+
+    def test_shrunk_is_minimal_for_two_process_disagreement(self):
+        # Two processes must both decide to disagree, so two genes is
+        # the floor — the shrinker must reach it from the padded input.
+        executor = FuzzExecutor(candidate_target(STRONG_SA))
+        shrunk = shrink_genes(executor, _padded_safety_genes())
+        assert len(shrunk) == 2
+
+    def test_idempotent(self):
+        executor = FuzzExecutor(candidate_target(STRONG_SA))
+        shrunk = shrink_genes(executor, _padded_safety_genes())
+        assert shrink_genes(executor, shrunk) == shrunk
+
+    def test_canonicalizes_toward_zero(self):
+        executor = FuzzExecutor(candidate_target(STRONG_SA))
+        shrunk = shrink_genes(executor, _padded_safety_genes())
+        # Every surviving gene is already as zero-ish as the violation
+        # allows: zeroing any single component must lose the finding.
+        for index, (scheduler_gene, choice_gene) in enumerate(shrunk):
+            for variant in ((0, 0), (0, choice_gene), (scheduler_gene, 0)):
+                if variant == (scheduler_gene, choice_gene):
+                    continue
+                trial = shrunk[:index] + (variant,) + shrunk[index + 1 :]
+                assert executor.execute(trial).kind != SAFETY
+
+
+class TestShrinkCycle:
+    def test_cycle_kind_preserved(self):
+        executor = FuzzExecutor(candidate_target(SPIN))
+        genes = tuple((k, k % 3) for k in range(20))
+        run = executor.execute(genes)
+        assert run.kind == CYCLE
+        shrunk = shrink_genes(executor, genes)
+        assert executor.execute(shrunk).kind == CYCLE
+        assert len(shrunk) <= len(genes)
+
+
+class TestShrinkNonViolating:
+    def test_non_violating_only_truncates(self):
+        executor = FuzzExecutor(candidate_target(6))  # clean queue target
+        genes = tuple((0, 0) for _ in range(40))
+        shrunk = shrink_genes(executor, genes)
+        consumed = executor.execute(genes).steps
+        assert shrunk == genes[:consumed]
+
+
+class TestReplayBridge:
+    def test_shrunk_schedule_replays_strictly(self):
+        executor = FuzzExecutor(candidate_target(STRONG_SA))
+        shrunk = shrink_genes(executor, _padded_safety_genes())
+        run, report = replay_shrunk(executor, shrunk)
+        assert run.kind == SAFETY
+        assert report.matches
+        assert not report.mismatches
+
+    def test_cycle_schedule_replays_strictly(self):
+        executor = FuzzExecutor(candidate_target(SPIN))
+        shrunk = shrink_genes(
+            executor, tuple((k, k % 3) for k in range(20))
+        )
+        run, report = replay_shrunk(executor, shrunk)
+        assert run.kind == CYCLE
+        assert report.matches

@@ -1,0 +1,70 @@
+"""Property-based tests (hypothesis) for the fuzz shrinker.
+
+The shrinking contract of ``docs/fuzzing.md``, over arbitrary gene
+sequences rather than hand-picked ones:
+
+* **verdict preservation** — the shrunk sequence produces a finding of
+  the same kind as the original;
+* **idempotence** — ``shrink(shrink(g)) == shrink(g)``; the ddmin
+  passes run to a fixpoint, so a second call has nothing left to do;
+* **monotonicity** — shrinking never grows the sequence, and the
+  shrunk genes are consumed in full (no dead tail).
+
+The target is the strong-2-SA candidate: two processes, one shared
+nondeterministic object, so a large fraction of random gene sequences
+violate agreement and ``assume`` rejects few draws. Non-violating
+sequences exercise the truncate-only branch of the contract.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.executor import FuzzExecutor
+from repro.fuzz.shrink import replay_shrunk, shrink_genes
+from repro.fuzz.target import candidate_target
+
+# One executor per process: the explorer memoizes successors and the
+# shrinker is side-effect-free, so sharing is sound and fast.
+_EXECUTOR = FuzzExecutor(candidate_target(1))
+
+genes_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1,
+    max_size=12,
+).map(tuple)
+
+
+class TestShrinkProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(genes=genes_strategy)
+    def test_shrink_preserves_the_verdict_kind(self, genes):
+        run = _EXECUTOR.execute(genes)
+        assume(run.violating)
+        shrunk = shrink_genes(_EXECUTOR, genes)
+        assert _EXECUTOR.execute(shrunk).kind == run.kind
+
+    @settings(deadline=None, max_examples=60)
+    @given(genes=genes_strategy)
+    def test_shrink_is_idempotent(self, genes):
+        shrunk = shrink_genes(_EXECUTOR, genes)
+        assert shrink_genes(_EXECUTOR, shrunk) == shrunk
+
+    @settings(deadline=None, max_examples=60)
+    @given(genes=genes_strategy)
+    def test_shrink_never_grows_and_leaves_no_dead_tail(self, genes):
+        shrunk = shrink_genes(_EXECUTOR, genes)
+        assert len(shrunk) <= len(genes)
+        assert _EXECUTOR.execute(shrunk).steps == len(shrunk)
+
+    @settings(deadline=None, max_examples=40)
+    @given(genes=genes_strategy)
+    def test_shrunk_violations_replay_strictly(self, genes):
+        run = _EXECUTOR.execute(genes)
+        assume(run.violating)
+        shrunk = shrink_genes(_EXECUTOR, genes)
+        rerun, report = replay_shrunk(_EXECUTOR, shrunk)
+        assert rerun.kind == run.kind
+        assert report.matches

@@ -21,6 +21,8 @@ class TestParser:
             ["power"],
             ["list-candidates"],
             ["ledger", "--n", "3"],
+            ["fuzz", "--candidate", "queue", "--budget", "50"],
+            ["fuzz", "--seed", "7", "--jobs", "2", "--no-shrink"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -75,6 +77,65 @@ class TestCommands:
         assert main(["refute"]) == 0
         out = capsys.readouterr().out
         assert out.count("===") >= 10  # every candidate has a section
+
+    def test_fuzz_doomed_candidate(self, capsys):
+        assert (
+            main(["fuzz", "--candidate", "one 2-SA", "--seed", "1234"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "FOUND safety" in out
+        assert "strict replay ✓" in out
+        assert "shrunk schedule:" in out
+        assert "MISMATCH" not in out
+
+    def test_fuzz_positive_control(self, capsys):
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--candidate",
+                    "2-consensus from queue",
+                    "--seed",
+                    "1234",
+                    "--budget",
+                    "100",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "no violation found in 100 fuzzed runs" in out
+        assert "FOUND" not in out
+
+    def test_fuzz_unknown_candidate(self, capsys):
+        assert main(["fuzz", "--candidate", "zzz-no-such"]) == 1
+
+    def test_fuzz_output_is_seed_reproducible(self, capsys):
+        argv = ["fuzz", "--candidate", "one 2-SA", "--seed", "9"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_fuzz_corpus_dir(self, capsys, tmp_path):
+        argv = [
+            "fuzz",
+            "--candidate",
+            "2-consensus from queue",
+            "--budget",
+            "40",
+            "--corpus-dir",
+            str(tmp_path / "corpus"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "(seeded 0)" in out
+        assert any((tmp_path / "corpus").rglob("*.json"))
+        # Second run seeds its mutation pool from the persisted corpus.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "(seeded 0)" not in out
 
     def test_ledger(self, capsys):
         assert main(["ledger", "--n", "2"]) == 0

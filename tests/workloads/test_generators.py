@@ -79,3 +79,88 @@ class TestPacWorkloads:
 
     def test_reproducible(self):
         assert pac_workloads(2, 2, 2, seed=8) == pac_workloads(2, 2, 2, seed=8)
+
+
+#: (family name, generator called as f(num_processes, size, seed)).
+_FAMILIES = [
+    ("queue", lambda n, k, s: queue_workloads(n, k, seed=s)),
+    ("register", lambda n, k, s: register_workloads(n, k, seed=s)),
+    ("counter", lambda n, k, s: counter_workloads(n, k, seed=s)),
+    ("snapshot", lambda n, k, s: snapshot_workloads(n, k, seed=s)),
+    (
+        "bundle",
+        lambda n, k, s: bundle_workloads(
+            n, levels=(1, 2), ops_per_process=k, seed=s
+        ),
+    ),
+    ("pac", lambda n, k, s: pac_workloads(n, rounds=k, n_labels=2, seed=s)),
+]
+
+_FAMILY_IDS = [name for name, _generate in _FAMILIES]
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize(
+        "generate", [g for _n, g in _FAMILIES], ids=_FAMILY_IDS
+    )
+    def test_zero_length_workloads(self, generate):
+        workloads = generate(3, 0, 1)
+        assert sorted(workloads) == [0, 1, 2]
+        assert all(ops == [] for ops in workloads.values())
+
+    @pytest.mark.parametrize(
+        "generate", [g for _n, g in _FAMILIES], ids=_FAMILY_IDS
+    )
+    def test_single_process_family(self, generate):
+        workloads = generate(1, 4, 1)
+        assert sorted(workloads) == [0]
+        assert len(workloads[0]) >= 4
+
+    @pytest.mark.parametrize(
+        "generate", [g for _n, g in _FAMILIES], ids=_FAMILY_IDS
+    )
+    def test_zero_processes(self, generate):
+        assert generate(0, 5, 1) == {}
+
+
+class TestSeedDisjointness:
+    @staticmethod
+    def _decision_pattern(workloads, heads):
+        # The branch each coin flip took, encoded family-agnostically:
+        # 1 for the "first" operation name, 0 otherwise.
+        return [
+            1 if operation.name == heads else 0
+            for pid in sorted(workloads)
+            for operation in workloads[pid]
+        ]
+
+    def test_register_and_snapshot_streams_differ(self):
+        # Both families flip `rng.random() < 0.5` per op; without the
+        # per-family salt they made bitwise-identical decisions for
+        # every shared base seed.
+        for seed in range(5):
+            registers = self._decision_pattern(
+                register_workloads(3, 16, seed=seed), "write"
+            )
+            snapshots = self._decision_pattern(
+                snapshot_workloads(3, 16, seed=seed), "update"
+            )
+            assert registers != snapshots, f"correlated at seed {seed}"
+
+    def test_queue_and_register_streams_differ(self):
+        queues = self._decision_pattern(
+            queue_workloads(3, 16, seed=0), "enqueue"
+        )
+        registers = self._decision_pattern(
+            register_workloads(3, 16, seed=0), "write"
+        )
+        assert queues != registers
+
+    def test_salt_does_not_break_per_family_reproducibility(self):
+        for _name, generate in _FAMILIES:
+            assert generate(2, 6, 9) == generate(2, 6, 9)
+
+    def test_different_seeds_differ_within_a_family(self):
+        assert register_workloads(3, 16, seed=0) != register_workloads(
+            3, 16, seed=1
+        )
