@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-perf experiments examples lint fuzz verify clean
+.PHONY: install test bench bench-perf experiments examples lint fuzz trace-smoke verify clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,6 +16,7 @@ bench:
 bench-perf:
 	pytest benchmarks/bench_perf_core.py benchmarks/bench_perf_substrates.py \
 		benchmarks/bench_perf_parallel.py benchmarks/bench_perf_fuzz.py \
+		benchmarks/bench_perf_obs.py \
 		--benchmark-disable -q
 	@echo "--- BENCH_perf.json ---"
 	@cat BENCH_perf.json
@@ -39,6 +40,25 @@ lint:
 fuzz:
 	python -m repro fuzz --candidate "one 2-SA" --seed 1234 --budget 300
 	python -m repro fuzz --candidate "2-consensus from queue" --seed 1234 --budget 300
+
+# Observability smoke: record a trace, validate it against the JSONL
+# schema, render it through `repro report`, and check that the metrics
+# snapshot embedded in the report is byte-identical across --jobs.
+trace-smoke:
+	rm -rf /tmp/repro-trace-smoke && mkdir -p /tmp/repro-trace-smoke
+	python -m repro check-algorithm2 --n 2 --trace /tmp/repro-trace-smoke/check.jsonl
+	python -c "from repro.obs.schema import load_trace; \
+		records = load_trace('/tmp/repro-trace-smoke/check.jsonl'); \
+		print(f'trace OK: {len(records)} records')"
+	python -m repro report /tmp/repro-trace-smoke/check.jsonl
+	python -m repro check-algorithm2 --n 2 --jobs 1 --format json > /tmp/repro-trace-smoke/j1.json
+	python -m repro check-algorithm2 --n 2 --jobs 2 --format json > /tmp/repro-trace-smoke/j2.json
+	python -c "import json; \
+		j1 = json.load(open('/tmp/repro-trace-smoke/j1.json')); \
+		j2 = json.load(open('/tmp/repro-trace-smoke/j2.json')); \
+		assert j1['metrics'] == j2['metrics'], (j1['metrics'], j2['metrics']); \
+		assert j1['body'] == j2['body'] and j1['summary'] == j2['summary']; \
+		print('metrics snapshots and rendered output identical across --jobs 1/2')"
 
 # The reproduction smoke-check: every CLI command must exit 0.
 verify:

@@ -41,12 +41,15 @@ class Timing(NamedTuple):
 
 
 def timed(fn: Callable[[], object], repeats: int = 5) -> Timing:
-    """Best-of/median-of-``repeats`` wall time for ``fn`` plus its last result.
+    """Median-of/best-of-``repeats`` wall time for ``fn`` plus its last result.
 
-    Best-of is the headline statistic for a baseline: it approximates
-    the cost with the least scheduler noise on top. The median rides
-    along so noisy runs are distinguishable from genuinely fast ones,
-    and ``repeats`` records how many samples both came from.
+    **Median is the canonical bench statistic**: every ``wall_seconds``
+    (and every derived rate/speedup) in ``BENCH_perf.json`` is computed
+    from ``.median``. Best-of rides along as ``best_wall_seconds`` —
+    it approximates the least-noise cost but is biased low and unstable
+    at small ``repeats``, which is why it is no longer the headline
+    (see ``docs/performance.md``). ``repeats`` records how many samples
+    both came from.
     """
     samples = []
     result: object = None

@@ -42,10 +42,10 @@ class TestFuzzThroughput:
             "fuzz_executions_per_second",
             target=list(_CLEAN),
             budget=budget,
-            wall_seconds=timing.best,
-            median_wall_seconds=timing.median,
+            wall_seconds=timing.median,
+            best_wall_seconds=timing.best,
             repeats=timing.repeats,
-            executions_per_second=budget / timing.best,
+            executions_per_second=budget / timing.median,
             coverage=report.coverage,
             corpus_added=report.corpus_added,
         )
@@ -67,8 +67,8 @@ class TestFuzzThroughput:
             "fuzz_time_to_first_violation",
             target=list(_DOOMED),
             budget=300,
-            wall_seconds=timing.best,
-            median_wall_seconds=timing.median,
+            wall_seconds=timing.median,
+            best_wall_seconds=timing.best,
             repeats=timing.repeats,
             first_finding_execution=report.first_finding_execution,
             shrunk_steps=len(finding.shrunk_schedule),

@@ -67,12 +67,12 @@ class TestParallelSweep:
             work_items=len(items),
             jobs=4,
             cpu_count=multiprocessing.cpu_count(),
-            serial_wall_seconds=serial_timing.best,
-            serial_median_wall_seconds=serial_timing.median,
-            parallel_wall_seconds=pooled_timing.best,
-            parallel_median_wall_seconds=pooled_timing.median,
+            serial_wall_seconds=serial_timing.median,
+            serial_best_wall_seconds=serial_timing.best,
+            parallel_wall_seconds=pooled_timing.median,
+            parallel_best_wall_seconds=pooled_timing.best,
             repeats=serial_timing.repeats,
-            speedup=serial_timing.best / pooled_timing.best,
+            speedup=serial_timing.median / pooled_timing.median,
             verdicts_identical=serial_values == pooled_values,
         )
 
@@ -112,11 +112,11 @@ class TestCacheColdWarm:
             "cache_cold_warm_algorithm2",
             n=n,
             work_items=len(items),
-            cold_wall_seconds=cold_timing.best,
-            warm_wall_seconds=warm_timing.best,
-            warm_median_wall_seconds=warm_timing.median,
+            cold_wall_seconds=cold_timing.median,
+            warm_wall_seconds=warm_timing.median,
+            warm_best_wall_seconds=warm_timing.best,
             repeats=warm_timing.repeats,
-            warm_speedup=cold_timing.best / warm_timing.best,
+            warm_speedup=cold_timing.median / warm_timing.median,
             cold_misses=len(items),
             warm_hits_per_run=len(items),
             verdicts_identical=warm_timing.result == cold_timing.result,

@@ -59,10 +59,10 @@ class TestObstructionFreePerf:
             "obstruction_free_exploration",
             rounds=rounds,
             configurations=len(graph),
-            wall_seconds=timing.best,
-            median_wall_seconds=timing.median,
+            wall_seconds=timing.median,
+            best_wall_seconds=timing.best,
             repeats=timing.repeats,
-            configs_per_sec=len(graph) / timing.best,
+            configs_per_sec=len(graph) / timing.median,
         )
         graph = benchmark(run)
         assert graph.complete
@@ -83,8 +83,8 @@ class TestValencyAnalyzerPerf:
             "valency_analyzer_fixpoint",
             n=3,
             configurations=len(analyzer.graph),
-            wall_seconds=timing.best,
-            median_wall_seconds=timing.median,
+            wall_seconds=timing.median,
+            best_wall_seconds=timing.best,
             repeats=timing.repeats,
         )
         analyzer = benchmark(run)
@@ -130,10 +130,10 @@ class TestSymmetryReductionPerf:
             full_configurations=len(full),
             reduced_configurations=len(reduced),
             reduction_ratio=len(full) / len(reduced),
-            full_wall_seconds=full_timing.best,
-            full_median_wall_seconds=full_timing.median,
-            reduced_wall_seconds=reduced_timing.best,
-            reduced_median_wall_seconds=reduced_timing.median,
+            full_wall_seconds=full_timing.median,
+            full_best_wall_seconds=full_timing.best,
+            reduced_wall_seconds=reduced_timing.median,
+            reduced_best_wall_seconds=reduced_timing.best,
             repeats=full_timing.repeats,
             decision_sets_equal=full_decisions == reduced_decisions,
         )

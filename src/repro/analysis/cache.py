@@ -58,6 +58,7 @@ from typing import (
     TYPE_CHECKING,
 )
 
+from .. import obs
 from ..errors import AnalysisError
 from ..types import Value
 
@@ -182,6 +183,8 @@ class ExplorationCache:
             payload = pickle.loads(payload_bytes)
         except FileNotFoundError:
             self.misses += 1
+            obs.counter("cache.misses")
+            obs.event("cache.get", fp=fp[:12], hit=False)
             return None
         except Exception:
             # Unreadable or tampered entry: drop it, report a miss. The
@@ -192,8 +195,13 @@ class ExplorationCache:
             except OSError:
                 pass
             self.misses += 1
+            obs.counter("cache.misses")
+            obs.counter("cache.corrupt_entries")
+            obs.event("cache.get", fp=fp[:12], hit=False, corrupt=True)
             return None
         self.hits += 1
+        obs.counter("cache.hits")
+        obs.event("cache.get", fp=fp[:12], hit=True)
         return payload
 
     def put(self, fp: str, payload: Any) -> None:
@@ -206,6 +214,8 @@ class ExplorationCache:
         tmp.write_bytes(pickle.dumps((digest, payload_bytes), protocol=4))
         os.replace(tmp, path)
         self.stores += 1
+        obs.counter("cache.stores")
+        obs.event("cache.put", fp=fp[:12], bytes=len(payload_bytes))
 
     def get_or_compute(
         self, components: Mapping[str, Any], compute: Callable[[], Any]
@@ -314,6 +324,8 @@ def explore_cached(
     payload = cache.get(fp)
     if payload is not None:
         if graph_digest(payload["portable"]) != payload["graph_digest"]:
+            obs.counter("cache.integrity_failures")
+            obs.event("cache.integrity_failure", fp=fp[:12])
             raise CacheIntegrityError(
                 "cached exploration graph failed digest validation "
                 f"(entry {fp[:12]}…): stale or corrupt entry"

@@ -68,6 +68,7 @@ from typing import (
     TYPE_CHECKING,
 )
 
+from .. import obs
 from ..errors import AnalysisError, ExplorationBudgetExceeded
 from ..objects.spec import SequentialSpec
 from ..runtime.events import Abort, Decide, Halt, Invoke
@@ -783,11 +784,28 @@ class Explorer:
         successor_ids: Dict[int, Tuple[Tuple[Edge, int], ...]] = {}
         complete = True
 
+        # Observability: counts accumulate in locals and publish once at
+        # the end (the BFS inner loop never touches the session stack);
+        # per-level trace events are gated on one flag computed here.
+        trace_on = obs.tracing()
+        intern_before = len(intern)
+        expansions = 0
+        symmetry_hits = 0
+        depth = 0
+
         frontier: List[int] = [start_id]
         try:
             while frontier:
+                if trace_on:
+                    obs.event(
+                        "explorer.frontier",
+                        depth=depth,
+                        width=len(frontier),
+                        seen=len(seen),
+                    )
                 next_frontier: List[int] = []
                 for cid in frontier:
+                    expansions += 1
                     entries = self._successor_entries(cid)
                     perms: Tuple[Permutation, ...] = ()
                     if symmetry is not None:
@@ -803,7 +821,10 @@ class Explorer:
                             rep, perm = self._canonicalize(
                                 intern.value(tid), symmetry
                             )
-                            mapped.append((edge, intern.id_of(rep)))
+                            rep_id = intern.id_of(rep)
+                            if rep_id != tid:
+                                symmetry_hits += 1
+                            mapped.append((edge, rep_id))
                             perm_list.append(perm)
                         entries = tuple(mapped)
                         perms = tuple(perm_list)
@@ -826,8 +847,20 @@ class Explorer:
                             parent_perms[tid] = perms[index]
                         next_frontier.append(tid)
                 frontier = next_frontier
+                depth += 1
         except _Truncated:
             pass
+
+        if obs.enabled():
+            obs.counter("explorer.explorations")
+            obs.counter("explorer.configurations", len(order_ids))
+            obs.counter("explorer.expansions", expansions)
+            obs.counter("explorer.interned", len(intern) - intern_before)
+            obs.histogram("explorer.depth", depth)
+            if symmetry is not None:
+                obs.counter("explorer.symmetry_hits", symmetry_hits)
+            if not complete:
+                obs.counter("explorer.truncations")
 
         return ExplorationResult(
             initial=bfs_start,

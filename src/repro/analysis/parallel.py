@@ -33,6 +33,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -47,6 +48,9 @@ from typing import (
     Sequence,
     Tuple,
 )
+
+from .. import obs
+from ..obs.metrics import empty_snapshot
 
 
 @dataclass(frozen=True)
@@ -95,19 +99,28 @@ def _run_batch(batch: Sequence[Tuple[int, Callable, tuple, dict]]):
     """Execute one chunk of items inside a worker (or inline).
 
     Every exception is captured per item — a bad item never takes the
-    batch (or the sweep) down with it.
+    batch (or the sweep) down with it. Each item runs under its own
+    :func:`repro.obs.scoped` metrics scope; the snapshot and wall-clock
+    latency travel home in the raw tuple
+    ``(index, failure, value, metrics, elapsed)`` so :meth:`run` can
+    fold metrics in submission order (identical for inline and pooled
+    execution) and report latencies to the trace only.
     """
     out = []
     for index, fn, args, kwargs in batch:
-        try:
-            out.append((index, None, fn(*args, **dict(kwargs))))
-        except Exception as exc:
-            failure = WorkFailure(
-                error_type=type(exc).__name__,
-                message=str(exc),
-                traceback=traceback.format_exc(),
-            )
-            out.append((index, failure, None))
+        value = failure = None
+        started = time.perf_counter()  # repro: noqa[R001] trace-only latency, never in metrics
+        with obs.scoped() as scope:
+            try:
+                value = fn(*args, **dict(kwargs))
+            except Exception as exc:
+                failure = WorkFailure(
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback=traceback.format_exc(),
+                )
+        elapsed = time.perf_counter() - started  # repro: noqa[R001] trace-only latency, never in metrics
+        out.append((index, failure, value, scope.snapshot(), elapsed))
     return out
 
 
@@ -165,21 +178,41 @@ class VerificationPool:
             for index, item in enumerate(items)
         ]
         self.last_run_parallel = False
-        if self.jobs <= 1 or len(tagged) <= 1:
-            raw = _run_batch(tagged)
-        else:
-            raw = self._run_pooled(tagged)
-        by_index: Dict[int, Tuple[Optional[WorkFailure], Any]] = {
-            index: (failure, value) for index, failure, value in raw
-        }
-        results: List[WorkResult] = []
-        for index, item in enumerate(items):
-            failure, value = by_index[index]
-            results.append(
-                WorkResult(
-                    key=item.key, index=index, value=value, failure=failure
+        with obs.span("pool.run", items=len(items), jobs=self.jobs) as sp:
+            if self.jobs <= 1 or len(tagged) <= 1:
+                raw = _run_batch(tagged)
+            else:
+                raw = self._run_pooled(tagged)
+            sp.set(parallel=self.last_run_parallel)
+            by_index: Dict[int, Tuple[Optional[WorkFailure], Any, Any, float]] = {
+                index: (failure, value, metrics, elapsed)
+                for index, failure, value, metrics, elapsed in raw
+            }
+            # Fold per-item metrics in submission order — never
+            # completion order — so pooled sweeps report byte-identical
+            # snapshots to serial ones. The jobs-dependent facts
+            # (parallel flag, latencies) go to the trace only.
+            parent = obs.current()
+            results: List[WorkResult] = []
+            for index, item in enumerate(items):
+                failure, value, metrics, elapsed = by_index[index]
+                if parent is not None:
+                    parent.registry.merge_snapshot(metrics)
+                    parent.registry.counter("pool.items")
+                    if failure is not None:
+                        parent.registry.counter("pool.failures")
+                obs.event(
+                    "pool.item",
+                    key=repr(item.key),
+                    index=index,
+                    ok=failure is None,
+                    exec_s=round(elapsed, 9),
                 )
-            )
+                results.append(
+                    WorkResult(
+                        key=item.key, index=index, value=value, failure=failure
+                    )
+                )
         return results
 
     def _run_pooled(self, tagged):
@@ -210,8 +243,13 @@ class VerificationPool:
                         message=str(exc),
                         traceback=traceback.format_exc(),
                     )
+                    obs.event(
+                        "pool.chunk_failure",
+                        error=type(exc).__name__,
+                        items=len(chunk),
+                    )
                     for index, _fn, _args, _kwargs in chunk:
-                        raw.append((index, failure, None))
+                        raw.append((index, failure, None, empty_snapshot(), 0.0))
         self.last_run_parallel = True
         return raw
 

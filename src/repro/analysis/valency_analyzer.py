@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..errors import AnalysisError
 from ..types import Value
 from .explorer import Configuration, Edge, ExplorationResult, Explorer
@@ -68,15 +69,19 @@ class ValencyAnalyzer:
         self.explorer = explorer
         self.domain = domain
         start = initial if initial is not None else explorer.initial_configuration()
-        self.graph: ExplorationResult = explorer.explore(
-            start, max_configurations
-        )
-        if not self.graph.complete:
-            raise AnalysisError(
-                "valency analysis needs the complete reachable graph; raise "
-                "max_configurations"
+        with obs.span("valency.analyze") as span:
+            self.graph: ExplorationResult = explorer.explore(
+                start, max_configurations
             )
-        self._table = explorer.decision_table(exploration=self.graph)
+            if not self.graph.complete:
+                raise AnalysisError(
+                    "valency analysis needs the complete reachable graph; "
+                    "raise max_configurations"
+                )
+            self._table = explorer.decision_table(exploration=self.graph)
+            span.set(configurations=len(self.graph.order_ids))
+        obs.counter("valency.analyses")
+        obs.counter("valency.configurations", len(self.graph.order_ids))
 
     # -- queries -------------------------------------------------------------
 

@@ -17,13 +17,21 @@ Commands:
   candidate suite (or Algorithm 2 instances), with automatic
   counterexample shrinking and strict replay verification (see
   :mod:`repro.fuzz` and ``docs/fuzzing.md``). ``--seed``-pinned runs
-  are bit-reproducible, including across ``--jobs`` values.
+  are bit-reproducible, including across ``--jobs`` values;
+* ``report TRACE`` — render a recorded JSONL trace into a summary
+  (see :mod:`repro.obs` and ``docs/observability.md``).
 
-Sweep commands (``check-algorithm2``, ``refute``) accept ``--jobs N``
-to fan their independent instances over a worker pool and (for
-``check-algorithm2``) ``--cache`` to reuse persisted per-instance
-verdicts; both paths report byte-identical results to the serial,
-uncached run.
+Every command builds a :class:`repro.reports.Report` and renders it
+through one renderer: ``--format text`` (default) prints the report
+body — byte-identical to the pre-report printers — and ``--format
+json`` prints the full serialized report, metrics snapshot included.
+``--trace PATH`` (or ``REPRO_TRACE=PATH``) records a structured JSONL
+trace of the run; ``--profile`` adds cProfile tables to it.
+
+Sweep commands (``check-algorithm2``, ``refute``, ``fuzz``) accept
+``--jobs N`` to fan their independent instances over a worker pool;
+all paths report byte-identical results to the serial run. The heavy
+commands are thin adapters over :mod:`repro.api`.
 
 Every command exits 0 on "the paper's claim reproduced" and 1
 otherwise, so the CLI doubles as a smoke-check in CI.
@@ -35,6 +43,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from . import obs
 from .analysis.explorer import Explorer
 from .core.pac import NPacSpec
 from .core.power import (
@@ -47,241 +56,126 @@ from .core.power import (
 from .protocols.candidates import all_candidates
 from .protocols.dac_from_pac import algorithm2_processes
 from .protocols.tasks import DacDecisionTask
+from .reports import Finding, Report, render_report
 from .types import op
 
 
-def _cmd_demo(_args: argparse.Namespace) -> int:
+def _cmd_demo(_args: argparse.Namespace) -> Report:
     spec = NPacSpec(2)
     _state, responses = spec.run(
         [op("propose", "hello", 1), op("decide", 1)]
     )
-    print(f"2-PAC: propose('hello', 1) -> {responses[0]!r}; "
-          f"decide(1) -> {responses[1]!r}")
+    lines = [
+        f"2-PAC: propose('hello', 1) -> {responses[0]!r}; "
+        f"decide(1) -> {responses[1]!r}"
+    ]
     inputs = (1, 0, 0)
     explorer = Explorer({"PAC": NPacSpec(3)}, algorithm2_processes(inputs))
     verdict = explorer.check_safety(DacDecisionTask(3), inputs)
-    print(f"Algorithm 2 @ n=3, inputs {inputs}: "
-          f"{'no violation over all schedules ✓' if verdict is None else 'VIOLATION'}")
-    return 0 if verdict is None else 1
-
-
-def _cmd_check_algorithm2(args: argparse.Namespace) -> int:
-    from .analysis.cache import ExplorationCache, fingerprint
-    from .analysis.parallel import (
-        VerificationPool,
-        WorkItem,
-        algorithm2_instance_check,
+    lines.append(
+        f"Algorithm 2 @ n=3, inputs {inputs}: "
+        f"{'no violation over all schedules ✓' if verdict is None else 'VIOLATION'}"
+    )
+    ok = verdict is None
+    return Report(
+        command="demo",
+        status="ok" if ok else "violation",
+        exit_code=0 if ok else 1,
+        summary=lines[-1],
+        body=tuple(lines),
+        data={"n": 3, "inputs": list(inputs), "violation": not ok},
     )
 
-    n = args.n
-    task = DacDecisionTask(n)
-    inputs_list = [tuple(inputs) for inputs in task.input_assignments()]
-    cache = ExplorationCache(args.cache_dir) if args.cache else None
 
-    # Cache-first: warm instances resolve without any exploration (or
-    # worker dispatch); only misses go to the pool.
-    resolved = {}
-    fingerprints = {}
-    to_run = []
-    for inputs in inputs_list:
-        if cache is not None:
-            fp = fingerprint(
-                cmd="check-algorithm2",
-                n=n,
-                inputs=inputs,
-                symmetry=bool(args.symmetry),
-                max_configurations=400_000,
-            )
-            fingerprints[inputs] = fp
-            payload = cache.get(fp)
-            if payload is not None:
-                resolved[inputs] = payload["value"]
-                continue
-        to_run.append(
-            WorkItem(
-                key=inputs,
-                fn=algorithm2_instance_check,
-                args=(n, inputs, bool(args.symmetry)),
-            )
-        )
-    pool = VerificationPool(jobs=args.jobs)
-    for result in pool.run(to_run):
-        if not result.ok:
-            print(f"ERROR at inputs {result.key}: {result.failure.render()}")
-            return 1
-        resolved[result.key] = result.value
-        if cache is not None:
-            cache.put(fingerprints[result.key], {"value": result.value})
+def _cmd_check_algorithm2(args: argparse.Namespace) -> Report:
+    from .api import verify
 
-    total_configs = 0
-    for inputs in inputs_list:
-        record = resolved[inputs]
-        if record["counterexample"] is not None:
-            print(f"VIOLATION at inputs {inputs}:")
-            print(record["counterexample"])
-            return 1
-        if record["solo_failures"]:
-            pid = record["solo_failures"][0]
-            print(f"SOLO NON-TERMINATION: pid {pid}, inputs {inputs}")
-            return 1
-        total_configs += record["configurations"]
-    if cache is not None:
-        print(f"cache: hits={cache.hits} misses={cache.misses}")
-    reduced = " (symmetry-reduced)" if args.symmetry else ""
-    print(f"Theorem 4.1 @ n={n}: all {2 ** n} input assignments, "
-          f"{total_configs} configurations{reduced} — "
-          f"safety + solo termination ✓")
-    return 0
-
-
-def _cmd_refute(args: argparse.Namespace) -> int:
-    from .analysis.parallel import (
-        VerificationPool,
-        WorkItem,
-        candidate_outcome,
+    return verify(
+        n=args.n,
+        symmetry=bool(args.symmetry),
+        jobs=args.jobs,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
     )
 
-    candidates = all_candidates()
-    indices = list(range(len(candidates)))
-    if args.candidate is not None:
-        indices = [
-            index
-            for index in indices
-            if args.candidate in candidates[index].name
-        ]
-        if not indices:
-            print(f"no candidate matching {args.candidate!r}; "
-                  f"see list-candidates")
-            return 1
-    pool = VerificationPool(jobs=args.jobs)
-    results = pool.run(
-        [
-            WorkItem(key=index, fn=candidate_outcome, args=(index,))
-            for index in indices
-        ]
+
+def _cmd_refute(args: argparse.Namespace) -> Report:
+    from .api import refute
+
+    return refute(candidate=args.candidate, jobs=args.jobs)
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> Report:
+    from .api import fuzz
+
+    return fuzz(
+        candidate=args.candidate,
+        algorithm2_n=args.algorithm2_n,
+        budget=args.budget,
+        seed=args.seed,
+        jobs=args.jobs,
+        shards=args.shards,
+        corpus_dir=args.corpus_dir,
+        shrink=args.shrink,
+        max_steps=args.max_steps,
     )
-    status = 0
-    for result in results:
-        candidate = candidates[result.key]
-        print(f"\n=== {candidate.name} (expected: "
-              f"{candidate.expected_failure}) ===")
-        if not result.ok:
-            print(f"!! ERROR: {result.failure.render()}")
-            status = 1
-            continue
-        record = result.value
-        print(record["rendered"])
-        if record["outcome"] != record["expected"]:
-            print(f"!! MISMATCH: expected {record['expected']}, "
-                  f"got {record['outcome']}")
-            status = 1
-    return status
 
 
-def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .analysis.render import render_schedule
-    from .fuzz import FuzzCorpus, FuzzExecutor, fuzz_campaign
-    from .fuzz.target import target_from_spec
-
-    if args.algorithm2_n is not None:
-        n = args.algorithm2_n
-        specs = [
-            ("algorithm2", n, tuple(inputs))
-            for inputs in DacDecisionTask(n).input_assignments()
-        ]
-    else:
-        candidates = all_candidates()
-        indices = list(range(len(candidates)))
-        if args.candidate is not None:
-            indices = [
-                index
-                for index in indices
-                if args.candidate in candidates[index].name
-            ]
-            if not indices:
-                print(f"no candidate matching {args.candidate!r}; "
-                      f"see list-candidates")
-                return 1
-        specs = [("candidate", index) for index in indices]
-
-    corpus = FuzzCorpus(args.corpus_dir) if args.corpus_dir else None
-    status = 0
-    for spec in specs:
-        target = target_from_spec(spec)
-        report = fuzz_campaign(
-            spec,
-            seed=args.seed,
-            budget=args.budget,
-            shards=args.shards,
-            jobs=args.jobs,
-            max_steps=args.max_steps,
-            shrink=args.shrink,
-            corpus=corpus,
-        )
-        print(f"\n=== {target.name} (expected: "
-              f"{target.expected_failure}) ===")
-        print(f"fuzz: seed={report.seed} budget={report.budget} "
-              f"shards={report.shards} executions={report.executions} "
-              f"coverage={report.coverage} "
-              f"corpus+={report.corpus_added} "
-              f"(seeded {report.corpus_seeded})")
-        observed = report.observed_failure()
-        renderer = FuzzExecutor(target, max_steps=args.max_steps).explorer
-        if not report.findings:
-            print(f"no violation found in {report.executions} "
-                  f"fuzzed runs")
-        for finding in report.findings:
-            print(f"FOUND {finding.kind} at execution "
-                  f"{finding.execution} (shard {finding.shard}): "
-                  f"{len(finding.schedule)} steps")
-            if finding.shrunk_schedule is None:
-                print(render_schedule(renderer, finding.schedule))
-                continue
-            replay = "✓" if finding.replay_matches else "DIVERGED"
-            print(f"shrunk {len(finding.schedule)} -> "
-                  f"{len(finding.shrunk_schedule)} steps; "
-                  f"strict replay {replay}")
-            print("shrunk schedule:")
-            print(render_schedule(renderer, finding.shrunk_schedule))
-            for violation in finding.shrunk_violations or ():
-                print(f"  violation: {violation}")
-            if finding.replay_matches is False:
-                for mismatch in finding.replay_mismatches:
-                    print(f"  !! replay mismatch: {mismatch}")
-                status = 1
-        if observed != target.expected_failure:
-            print(f"!! MISMATCH: expected {target.expected_failure}, "
-                  f"fuzzing observed {observed}")
-            status = 1
-    return status
-
-
-def _cmd_cache(args: argparse.Namespace) -> int:
+def _cmd_cache(args: argparse.Namespace) -> Report:
     from .analysis.cache import ExplorationCache
 
     cache = ExplorationCache(args.cache_dir)
     if args.action == "stats":
         stats = cache.stats()
-        print(f"cache root: {stats.root}")
-        print(f"entries:    {stats.entries}")
-        print(f"bytes:      {stats.total_bytes}")
-        return 0
+        lines = [
+            f"cache root: {stats.root}",
+            f"entries:    {stats.entries}",
+            f"bytes:      {stats.total_bytes}",
+        ]
+        return Report(
+            command="cache",
+            summary=f"{stats.entries} cache entries",
+            body=tuple(lines),
+            data={
+                "action": "stats",
+                "root": stats.root,
+                "entries": stats.entries,
+                "bytes": stats.total_bytes,
+            },
+        )
     removed = cache.clear()
-    print(f"removed {removed} entries from {cache.root}")
-    return 0
+    line = f"removed {removed} entries from {cache.root}"
+    return Report(
+        command="cache",
+        summary=line,
+        body=(line,),
+        data={"action": "clear", "root": str(cache.root), "removed": removed},
+    )
 
 
-def _cmd_separation(args: argparse.Namespace) -> int:
+def _cmd_separation(args: argparse.Namespace) -> Report:
     n = args.n
     from .core.power import on_prime_power
     from .protocols.candidates import dac_via_consensus, dac_via_sa_arbiter
 
-    print(on_power(n).describe(5))
-    print(on_prime_power(n).describe(5))
+    def failed(kind: str, line: str, lines: List[str]) -> Report:
+        lines.append(line)
+        return Report(
+            command="separation",
+            status="violation",
+            exit_code=1,
+            summary=line,
+            body=tuple(lines),
+            findings=(Finding(kind, subject=f"level {n}", detail=line),),
+            data={"n": n},
+        )
+
+    lines: List[str] = []
+    lines.append(on_power(n).describe(5))
+    lines.append(on_prime_power(n).describe(5))
     if not on_power(n).agrees_with(on_prime_power(n), 8):
-        print("POWER MISMATCH")
-        return 1
-    print("powers agree on the first 8 components ✓")
+        return failed("power-mismatch", "POWER MISMATCH", lines)
+    lines.append("powers agree on the first 8 components ✓")
 
     inputs = DacDecisionTask.paper_initial_inputs(n + 1)
     task = DacDecisionTask(n + 1)
@@ -289,9 +183,10 @@ def _cmd_separation(args: argparse.Namespace) -> int:
         {"PAC": NPacSpec(n + 1)}, algorithm2_processes(inputs)
     )
     if explorer.check_safety(task, inputs) is not None:
-        print(f"O_{n} FAILED to solve {n + 1}-DAC")
-        return 1
-    print(f"O_{n} solves {n + 1}-DAC over all schedules ✓")
+        return failed(
+            "safety", f"O_{n} FAILED to solve {n + 1}-DAC", lines
+        )
+    lines.append(f"O_{n} solves {n + 1}-DAC over all schedules ✓")
 
     refuted = 0
     candidates = [
@@ -303,38 +198,83 @@ def _cmd_separation(args: argparse.Namespace) -> int:
         cand_explorer = Explorer(candidate.objects, candidate.processes)
         broken = cand_explorer.check_safety(candidate.task, candidate.inputs)
         if broken is None and cand_explorer.find_livelock() is None:
-            print(f"candidate NOT refuted: {candidate.name}")
-            return 1
+            return failed(
+                "not-refuted", f"candidate NOT refuted: {candidate.name}", lines
+            )
         refuted += 1
-    print(f"{refuted}/{len(candidates)} candidate reductions over O'_{n}'s "
-          f"base family refuted ✓")
-    print(f"Corollary 6.6 at level {n}: same power, not equivalent.")
-    return 0
+    lines.append(
+        f"{refuted}/{len(candidates)} candidate reductions over O'_{n}'s "
+        f"base family refuted ✓"
+    )
+    summary = f"Corollary 6.6 at level {n}: same power, not equivalent."
+    lines.append(summary)
+    return Report(
+        command="separation",
+        summary=summary,
+        body=tuple(lines),
+        data={"n": n, "refuted": refuted},
+    )
 
 
-def _cmd_ledger(args: argparse.Namespace) -> int:
+def _cmd_ledger(args: argparse.Namespace) -> Report:
     from .core.relations import paper_ledger, separation_report
 
+    lines: List[str] = []
+    findings: List[Finding] = []
     ledger = paper_ledger(args.n)
-    print(f"implementability ledger @ level n={args.n} "
-          f"(every edge re-verified just now):")
+    lines.append(
+        f"implementability ledger @ level n={args.n} "
+        f"(every edge re-verified just now):"
+    )
+    edges = []
     for edge in ledger.edges():
         arrow = "--implements-->" if edge.positive else "--CANNOT-->"
-        print(f"  {edge.source} {arrow} {edge.target}")
-        print(f"      evidence: {edge.evidence}")
+        lines.append(f"  {edge.source} {arrow} {edge.target}")
+        lines.append(f"      evidence: {edge.evidence}")
+        edges.append(
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "positive": edge.positive,
+                "evidence": edge.evidence,
+            }
+        )
     conflicts = ledger.check_consistency()
     if conflicts:
         for conflict in conflicts:
-            print(f"  !! CONFLICT: {conflict}")
-        return 1
+            lines.append(f"  !! CONFLICT: {conflict}")
+            findings.append(
+                Finding("conflict", subject=f"n={args.n}", detail=str(conflict))
+            )
+        return Report(
+            command="ledger",
+            status="violation",
+            exit_code=1,
+            summary=f"{len(conflicts)} ledger conflict(s)",
+            body=tuple(lines),
+            findings=tuple(findings),
+            data={"n": args.n, "edges": edges},
+        )
     report = separation_report(args.n)
-    print(f"\nCorollary 6.6 at level {args.n}: "
-          f"{'reproduced ✓' if report.reproduces_corollary_6_6 else 'NOT reproduced'}")
-    return 0 if report.reproduces_corollary_6_6 else 1
+    reproduced = report.reproduces_corollary_6_6
+    lines.append("")
+    summary = (
+        f"Corollary 6.6 at level {args.n}: "
+        f"{'reproduced ✓' if reproduced else 'NOT reproduced'}"
+    )
+    lines.append(summary)
+    return Report(
+        command="ledger",
+        status="ok" if reproduced else "violation",
+        exit_code=0 if reproduced else 1,
+        summary=summary,
+        body=tuple(lines),
+        data={"n": args.n, "edges": edges, "reproduced": reproduced},
+    )
 
 
-def _cmd_power(_args: argparse.Namespace) -> int:
-    for power in [
+def _cmd_power(_args: argparse.Namespace) -> Report:
+    powers = [
         register_power(),
         m_consensus_power(2),
         m_consensus_power(3),
@@ -342,21 +282,144 @@ def _cmd_power(_args: argparse.Namespace) -> int:
         combined_pac_power(3, 2),
         on_power(2),
         on_power(3),
-    ]:
-        print(power.describe(6))
-    return 0
+    ]
+    lines = [power.describe(6) for power in powers]
+    return Report(
+        command="power",
+        summary=f"{len(powers)} power profiles",
+        body=tuple(lines),
+        data={"profiles": len(powers)},
+    )
 
 
-def _cmd_list_candidates(_args: argparse.Namespace) -> int:
-    for candidate in all_candidates():
-        print(f"{candidate.name:55s} expected: {candidate.expected_failure}")
-    return 0
+def _cmd_list_candidates(_args: argparse.Namespace) -> Report:
+    candidates = all_candidates()
+    lines = [
+        f"{candidate.name:55s} expected: {candidate.expected_failure}"
+        for candidate in candidates
+    ]
+    return Report(
+        command="list-candidates",
+        summary=f"{len(candidates)} candidates",
+        body=tuple(lines),
+        data={
+            "candidates": [
+                {
+                    "name": candidate.name,
+                    "expected": candidate.expected_failure,
+                }
+                for candidate in candidates
+            ]
+        },
+    )
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    from .lint.cli import run_lint
+def _cmd_lint(args: argparse.Namespace) -> Report:
+    import json
+    from pathlib import Path
 
-    return run_lint(args)
+    from .lint.cli import default_target
+    from .lint.engine import all_rules, lint_paths
+
+    if args.list_rules:
+        rules = all_rules()
+        lines = [
+            f"{rule.rule_id}  {rule.severity:7s}  {rule.title}"
+            for rule in rules
+        ]
+        return Report(
+            command="lint",
+            summary=f"{len(rules)} rules",
+            body=tuple(lines),
+            data={"rules": [rule.rule_id for rule in rules]},
+        )
+    paths = [Path(p) for p in args.paths] or [default_target()]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        lines = [f"repro lint: no such path: {path}" for path in missing]
+        return Report(
+            command="lint",
+            status="error",
+            exit_code=2,
+            summary=lines[0],
+            body=tuple(lines),
+        )
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select
+        else None
+    )
+    try:
+        lint_report = lint_paths(paths, select=select)
+    except ValueError as exc:
+        line = f"repro lint: {exc}"
+        return Report(
+            command="lint",
+            status="error",
+            exit_code=2,
+            summary=line,
+            body=(line,),
+        )
+    payload = json.loads(lint_report.to_json())
+    code = lint_report.exit_code()
+    text = lint_report.render_text(show_suppressed=args.show_suppressed)
+    return Report(
+        command="lint",
+        status="ok" if code == 0 else "error",
+        exit_code=code,
+        summary=f"{payload['summary']['errors']} lint error(s)",
+        body=tuple(text.split("\n")),
+        data=payload,
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> Report:
+    from .obs import report as obs_report
+
+    try:
+        summary = obs_report.summarize_file(args.trace_file)
+    except (OSError, ValueError) as exc:
+        line = f"repro report: {exc}"
+        return Report(
+            command="report",
+            status="error",
+            exit_code=1,
+            summary=line,
+            body=(line,),
+        )
+    text = obs_report.render_text(summary)
+    return Report(
+        command="report",
+        summary=f"{summary['records']} trace records",
+        body=tuple(text.split("\n")),
+        data=summary,
+    )
+
+
+def _add_observability_arguments(
+    parser: argparse.ArgumentParser, include_format: bool = True
+) -> None:
+    """``--format/--trace/--profile``, shared by every command."""
+    if include_format:
+        parser.add_argument(
+            "--format",
+            choices=("text", "json"),
+            default="text",
+            help="output format (default: text)",
+        )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a structured JSONL trace of this run "
+        "(default: $REPRO_TRACE if set; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="embed cProfile top-N tables in the trace "
+        "(needs --trace or $REPRO_TRACE)",
+    )
 
 
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
@@ -395,7 +458,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("demo", help="60-second PAC / Algorithm 2 tour")
+    demo = commands.add_parser("demo", help="60-second PAC / Algorithm 2 tour")
+    _add_observability_arguments(demo)
 
     check = commands.add_parser(
         "check-algorithm2", help="model-check Theorem 4.1 at size n"
@@ -409,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
         "interchangeable; see docs/performance.md)",
     )
     _add_scale_arguments(check)
+    _add_observability_arguments(check)
 
     refute = commands.add_parser(
         "refute", help="refute the doomed candidate suite with witnesses"
@@ -422,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the candidate sweep (default: 1, "
         "serial; results are merged deterministically either way)",
     )
+    _add_observability_arguments(refute)
 
     fuzz = commands.add_parser(
         "fuzz",
@@ -493,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="maximum schedule length per fuzzed run (default: 64)",
     )
+    _add_observability_arguments(fuzz)
 
     cache = commands.add_parser(
         "cache", help="persistent exploration cache maintenance"
@@ -504,20 +571,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
+    _add_observability_arguments(cache)
 
     separation = commands.add_parser(
         "separation", help="run the Corollary 6.6 pipeline at level n"
     )
     separation.add_argument("--n", type=int, default=2)
+    _add_observability_arguments(separation)
 
-    commands.add_parser("power", help="print set agreement power table")
-    commands.add_parser("list-candidates", help="name the candidate suite")
+    power = commands.add_parser(
+        "power", help="print set agreement power table"
+    )
+    _add_observability_arguments(power)
+    list_candidates = commands.add_parser(
+        "list-candidates", help="name the candidate suite"
+    )
+    _add_observability_arguments(list_candidates)
 
     ledger = commands.add_parser(
         "ledger",
         help="re-verify and print the implementability ledger at level n",
     )
     ledger.add_argument("--n", type=int, default=2)
+    _add_observability_arguments(ledger)
 
     from .lint.cli import add_lint_arguments
 
@@ -527,6 +603,18 @@ def build_parser() -> argparse.ArgumentParser:
         "R001-R006)",
     )
     add_lint_arguments(lint)
+    _add_observability_arguments(lint, include_format=False)
+
+    trace_report = commands.add_parser(
+        "report",
+        help="render a recorded JSONL trace into a summary "
+        "(see docs/observability.md)",
+    )
+    trace_report.add_argument(
+        "trace_file",
+        help="path to a trace written with --trace / $REPRO_TRACE",
+    )
+    _add_observability_arguments(trace_report)
     return parser
 
 
@@ -541,12 +629,21 @@ _HANDLERS = {
     "lint": _cmd_lint,
     "cache": _cmd_cache,
     "fuzz": _cmd_fuzz,
+    "report": _cmd_report,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    with obs.session(
+        trace_path=getattr(args, "trace", None),
+        profile=True if getattr(args, "profile", False) else None,
+        meta={"command": args.command},
+    ) as sess:
+        report = _HANDLERS[args.command](args)
+        report = report.with_metrics(sess.snapshot())
+        print(render_report(report, getattr(args, "format", "text")))
+    return report.exit_code
 
 
 if __name__ == "__main__":

@@ -23,14 +23,6 @@ Layering:
 
 from .corpus import CorpusStats, FuzzCorpus, corpus_fingerprint
 from .executor import CYCLE, SAFETY, FuzzExecutor, GeneRun, Genes
-from .engine import (
-    FuzzFinding,
-    FuzzReport,
-    fuzz_campaign,
-    mutate,
-    run_shard,
-    shard_seed,
-)
 from .shrink import replay_shrunk, shrink_genes
 from .target import (
     FuzzTarget,
@@ -38,6 +30,37 @@ from .target import (
     candidate_target,
     target_from_spec,
 )
+
+#: Engine names previously re-exported eagerly. They now resolve through
+#: a deprecation shim: the supported entry point for campaigns is
+#: ``repro.api.fuzz()`` (which returns a unified ``repro.reports.Report``),
+#: and the engine internals live in ``repro.fuzz.engine``. One release of
+#: warning before the re-exports go away.
+_DEPRECATED_ENGINE_NAMES = (
+    "FuzzFinding",
+    "FuzzReport",
+    "fuzz_campaign",
+    "mutate",
+    "run_shard",
+    "shard_seed",
+)
+
+
+def __getattr__(name):
+    if name in _DEPRECATED_ENGINE_NAMES:
+        import warnings
+
+        warnings.warn(
+            f"importing {name!r} from 'repro.fuzz' is deprecated and will "
+            f"stop working in the next release; use repro.api.fuzz() for "
+            f"campaigns or import from 'repro.fuzz.engine'",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "CYCLE",

@@ -29,6 +29,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..analysis.explorer import Edge
 from ..analysis.parallel import VerificationPool, WorkItem
 from ..errors import AnalysisError
@@ -99,8 +100,10 @@ def run_shard(
     """One shard's sub-campaign (module-level: pool-ready).
 
     Returns a plain picklable record: executions performed, coverage
-    gained, new corpus entries in discovery order, and findings that
-    are already shrunk and replay-verified.
+    gained, the coverage growth curve (``(execution, coverage)`` at
+    every execution that discovered new configurations), new corpus
+    entries in discovery order, and findings that are already shrunk
+    and replay-verified.
     """
     target = target_from_spec(spec)
     executor = FuzzExecutor(target, max_steps=max_steps)
@@ -109,16 +112,19 @@ def run_shard(
     pool: List[Genes] = [tuple(genes) for genes in initial_corpus]
     new_entries: List[Genes] = []
     findings: List[Dict[str, object]] = []
+    growth: List[Tuple[int, int]] = []
     performed = 0
     first_finding: Optional[int] = None
     for index in range(executions):
         genes = mutate(rng, pool, max_steps)
         run = executor.execute(genes, coverage=coverage)
         performed += 1
-        if run.new_coverage > 0 and run.edges:
-            consumed = genes[: run.steps]
-            pool.append(consumed)
-            new_entries.append(consumed)
+        if run.new_coverage > 0:
+            growth.append((index, len(coverage)))
+            if run.edges:
+                consumed = genes[: run.steps]
+                pool.append(consumed)
+                new_entries.append(consumed)
         if run.kind is None:
             continue
         if first_finding is None:
@@ -153,10 +159,19 @@ def run_shard(
         findings.append(finding)
         if stop_on_finding:
             break
+    # Published once per shard, not per execution: the shard runs under
+    # the pool's scoped registry (inline or in a worker), so these fold
+    # back into the campaign's metrics in shard-submission order.
+    obs.counter("fuzz.executions", performed)
+    obs.counter("fuzz.shrink_probes", executor.executions - performed)
+    obs.counter("fuzz.new_coverage", len(coverage))
+    obs.counter("fuzz.corpus_entries", len(new_entries))
+    obs.counter("fuzz.findings", len(findings))
     return {
         "shard": shard,
         "executions": performed,
         "new_coverage": len(coverage),
+        "growth": growth,
         "corpus": new_entries,
         "findings": findings,
         "first_finding": first_finding,
@@ -266,6 +281,7 @@ def fuzz_campaign(
         for shard in range(shards)
         if budgets[shard] > 0
     ]
+    obs.counter("fuzz.campaigns")
     results = VerificationPool(jobs=jobs).run(items)
     offsets = []
     offset = 0
@@ -288,6 +304,28 @@ def fuzz_campaign(
         shard = record["shard"]
         executions += record["executions"]
         coverage += record["new_coverage"]
+        # Trace-only shard telemetry, emitted here in the parent (shard
+        # workers cannot write the trace) in deterministic shard order;
+        # the growth curve is mapped to campaign-global execution
+        # indices so curves from different jobs values line up.
+        obs.event(
+            "fuzz.shard",
+            target=target.name,
+            shard=shard,
+            executions=record["executions"],
+            new_coverage=record["new_coverage"],
+            findings=len(record["findings"]),
+        )
+        if record["growth"]:
+            obs.event(
+                "fuzz.growth",
+                target=target.name,
+                shard=shard,
+                curve=[
+                    [offsets[shard] + index, total]
+                    for index, total in record["growth"]
+                ],
+            )
         for genes in record["corpus"]:
             fp = corpus_fingerprint(spec, genes)
             if fp in seen_entries:

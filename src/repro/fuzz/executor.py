@@ -86,6 +86,10 @@ class FuzzExecutor:
         self.max_steps = max_steps
         self.explorer = Explorer(target.objects, target.processes)
         self._initial = self.explorer.initial_configuration()
+        #: Total :meth:`execute` calls over this executor's lifetime —
+        #: campaign executions *plus* shrinker probes, so the engine can
+        #: report shrink cost as the difference.
+        self.executions = 0
 
     def execute(
         self, genes: Genes, coverage: Optional[Set[int]] = None
@@ -93,6 +97,7 @@ class FuzzExecutor:
         """Run ``genes`` (up to ``max_steps`` of them) from the initial
         configuration. ``coverage`` is the campaign's seen-id set; pass
         None for side-effect-free evaluation (the shrinker does)."""
+        self.executions += 1
         explorer = self.explorer
         task = self.target.task
         inputs = self.target.inputs

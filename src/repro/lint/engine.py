@@ -41,6 +41,7 @@ ROLES = (
     "workloads",
     "lint",
     "fuzz",
+    "obs",
 )
 
 _NOQA_RE = re.compile(

@@ -51,7 +51,10 @@ class DeterminismRule(Rule):
     # ``fuzz`` is in scope: fuzzed runs are replay evidence exactly like
     # explorer witnesses, so the subsystem obeys the same determinism
     # contract (seeded RNG instances only, no clocks, no set iteration).
-    SCOPE = {"protocols", "analysis", "runtime", "fuzz"}
+    # ``obs`` is in scope too: its metrics snapshots are compared
+    # byte-for-byte across --jobs, so only the explicitly-suppressed
+    # trace timestamps may touch a clock.
+    SCOPE = {"protocols", "analysis", "runtime", "fuzz", "obs"}
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if module.role not in self.SCOPE:

@@ -1,0 +1,204 @@
+"""Span-based structured tracing with a JSONL sink.
+
+One :class:`Tracer` = one trace file. Records are one JSON object per
+line, ``sort_keys=True`` so field order is stable; the record shapes
+are specified (and validated) by :mod:`repro.obs.schema`:
+
+* ``meta`` — first line: schema version, package version, pid, plus
+  whatever the opening session supplied (the CLI records the command);
+* ``span`` — one *completed* phase: name, id, parent id, start offset,
+  duration, and attributes set during the phase. Span ids are assigned
+  sequentially, parent links come from the per-tracer span stack, so
+  the tree is deterministic even though the timings are not;
+* ``event`` — one point observation (a cache probe, a pool item);
+* ``profile`` — a cProfile top-N table (:mod:`repro.obs.profile`);
+* ``metrics`` — a registry snapshot (the closing session writes one);
+* ``end`` — last line, with the total record count.
+
+Determinism contract: everything in a trace record is deterministic
+**except** the fields named ``t_s`` / ``dur_s`` / ``exec_s`` (wall-time
+offsets and durations) — consumers that byte-compare traces must strip
+exactly those (``repro.obs.schema.VOLATILE_FIELDS``; the golden schema
+test does). This module is the one place in the library allowed to
+read clocks: timings recorded here never feed back into schedules or
+verdicts, which is why the ``repro: noqa[R001]`` suppressions below
+are sound.
+
+Fork safety: a tracer records its owning pid. A worker process forked
+while a trace is active inherits the session object but must not write
+to the shared file descriptor — :meth:`Tracer.owned` is how the
+ambient-session machinery checks, and foreign-pid writes become no-ops.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, IO, Iterator, List, Optional, Union
+from contextlib import contextmanager
+
+#: Trace file schema version (part of the ``meta`` record).
+TRACE_SCHEMA = 1
+
+
+class Span:
+    """A live span: set attributes with :meth:`set` while inside it."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "_t0")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        t0: float,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs: Dict[str, Any] = {}
+        self._t0 = t0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes (recorded when the span completes)."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """Stateless stand-in when tracing is off; ``set`` is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Write span/event/profile/metrics records to one JSONL sink."""
+
+    def __init__(
+        self,
+        sink: Union[str, os.PathLike, IO[str]],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if hasattr(sink, "write"):
+            self._fh: IO[str] = sink  # type: ignore[assignment]
+            self._owns_fh = False
+            self.path: Optional[str] = None
+        else:
+            self._fh = open(os.fspath(sink), "w", encoding="utf-8")
+            self._owns_fh = True
+            self.path = os.fspath(sink)
+        self.pid = os.getpid()
+        self._records = 0
+        self._next_span_id = 0
+        self._stack: List[Span] = []
+        self._closed = False
+        # Offsets are relative to this origin; never compared byte-wise.
+        self._origin = time.perf_counter()  # repro: noqa[R001] trace timings are observability-only, never replayed
+        from .. import __version__
+
+        record: Dict[str, Any] = {
+            "type": "meta",
+            "schema": TRACE_SCHEMA,
+            "repro_version": __version__,
+            "pid": self.pid,
+        }
+        if meta:
+            record.update(meta)
+        self._write(record)
+
+    # -- record plumbing -------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin  # repro: noqa[R001] trace timings are observability-only, never replayed
+
+    def owned(self) -> bool:
+        """False in a forked child: the fd belongs to the parent."""
+        return not self._closed and os.getpid() == self.pid
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        record["seq"] = self._records
+        self._records += 1
+        self._fh.write(json.dumps(record, sort_keys=True, default=repr))
+        self._fh.write("\n")
+
+    # -- public recording ------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """One phase: records a ``span`` line when the block exits."""
+        if not self.owned():
+            yield NULL_SPAN  # type: ignore[misc]
+            return
+        t0 = self._now()
+        span = Span(name, self._next_span_id, self._parent_id(), t0)
+        self._next_span_id += 1
+        span.attrs.update(attrs)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            self._write(
+                {
+                    "type": "span",
+                    "name": span.name,
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "t_s": round(t0, 9),
+                    "dur_s": round(self._now() - t0, 9),
+                    "attrs": span.attrs,
+                }
+            )
+
+    def _parent_id(self) -> Optional[int]:
+        return self._stack[-1].span_id if self._stack else None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """One point observation under the current span (if any)."""
+        if not self.owned():
+            return
+        self._write(
+            {
+                "type": "event",
+                "name": name,
+                "parent": self._parent_id(),
+                "t_s": round(self._now(), 9),
+                "attrs": attrs,
+            }
+        )
+
+    def profile(self, phase: str, rows: List[Dict[str, Any]]) -> None:
+        """A cProfile top-N table for ``phase`` (see repro.obs.profile)."""
+        if not self.owned():
+            return
+        self._write(
+            {
+                "type": "profile",
+                "phase": phase,
+                "parent": self._parent_id(),
+                "top": rows,
+            }
+        )
+
+    def metrics(self, snapshot: Dict[str, Any]) -> None:
+        """A metrics-registry snapshot (deterministic by construction)."""
+        if not self.owned():
+            return
+        self._write({"type": "metrics", "snapshot": snapshot})
+
+    def close(self) -> None:
+        """Write the ``end`` record and release the sink."""
+        if self._closed or os.getpid() != self.pid:
+            return
+        self._write({"type": "end", "records": self._records + 1})
+        if self._owns_fh:
+            self._fh.close()
+        else:
+            self._fh.flush()
+        self._closed = True

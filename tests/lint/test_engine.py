@@ -108,7 +108,10 @@ class TestCli:
         )
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["summary"]["errors"] == 0
+        # Unified report envelope: the lint payload rides in "data".
+        assert payload["command"] == "lint"
+        assert payload["exit_code"] == 0
+        assert payload["data"]["summary"]["errors"] == 0
 
     def test_missing_path_is_usage_error(self, capsys):
         code = repro_cli.main(["lint", "/nonexistent/definitely-missing"])

@@ -20,10 +20,19 @@ def test_repro_package_is_lint_clean():
 
 
 def test_suppressions_in_package_are_audited():
-    # Every in-tree suppression is deliberate; this pins the count so a
-    # drive-by ``# repro: noqa`` shows up in review.
+    # Every in-tree suppression is deliberate; this pins the exact set so
+    # a drive-by ``# repro: noqa`` shows up in review. The four R001
+    # clock suppressions are the observability layer's trace timestamps
+    # (trace-only, never fed back into schedules, metrics, or verdicts).
     report = lint_paths([PACKAGE_DIR])
-    assert len(report.suppressed) == 1
-    (finding,) = report.suppressed
-    assert finding.rule_id == "R002"
-    assert finding.path.endswith("implementation.py")
+    audited = sorted(
+        (finding.rule_id, Path(finding.path).name)
+        for finding in report.suppressed
+    )
+    assert audited == [
+        ("R001", "parallel.py"),
+        ("R001", "parallel.py"),
+        ("R001", "trace.py"),
+        ("R001", "trace.py"),
+        ("R002", "implementation.py"),
+    ]

@@ -1,0 +1,85 @@
+"""Profiling hooks: strict no-op off, a valid ``profile`` record on."""
+
+from repro import obs
+from repro.cli import main
+from repro.obs.profile import TOP_N
+from repro.obs.schema import load_trace, validate_record
+
+
+def _busy():
+    total = 0
+    for value in range(2000):
+        total += value * value
+    return total
+
+
+def _profile_records(path):
+    return [r for r in load_trace(str(path)) if r["type"] == "profile"]
+
+
+class TestProfilePhase:
+    def test_noop_without_any_session(self):
+        assert not obs.enabled()
+        with obs.profile_phase("idle"):
+            assert _busy() > 0
+
+    def test_noop_without_a_tracer(self):
+        # profiling without a sink would drop tables on the floor
+        with obs.session(profile=True, reuse=False):
+            with obs.profile_phase("untraced"):
+                assert _busy() > 0
+
+    def test_noop_when_profiling_is_off(self, tmp_path):
+        path = tmp_path / "off.jsonl"
+        with obs.session(trace_path=path, profile=False, reuse=False):
+            with obs.profile_phase("dark"):
+                _busy()
+        assert _profile_records(path) == []
+
+    def test_emits_one_valid_profile_record(self, tmp_path):
+        path = tmp_path / "on.jsonl"
+        with obs.session(trace_path=path, profile=True, reuse=False):
+            with obs.profile_phase("busy"):
+                _busy()
+        profiles = _profile_records(path)
+        assert len(profiles) == 1
+        record = profiles[0]
+        validate_record(record)
+        assert record["phase"] == "busy"
+        assert 0 < len(record["top"]) <= TOP_N
+        row = record["top"][0]
+        assert set(row) == {
+            "func",
+            "ncalls",
+            "primitive_calls",
+            "tottime_s",
+            "cumtime_s",
+        }
+        # the profiled block's own frame made the cumulative-time table
+        assert any("_busy" in row["func"] for row in record["top"])
+
+    def test_top_n_bounds_the_table(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        with obs.session(trace_path=path, profile=True, reuse=False):
+            with obs.profile_phase("short", top_n=2):
+                _busy()
+        (record,) = _profile_records(path)
+        assert len(record["top"]) <= 2
+
+
+class TestProfileFlag:
+    def test_cli_profile_embeds_a_verify_table(self, tmp_path, capsys):
+        path = tmp_path / "cli.jsonl"
+        argv = ["check-algorithm2", "--n", "2", "--trace", str(path)]
+        assert main(argv + ["--profile"]) == 0
+        capsys.readouterr()
+        profiles = _profile_records(path)
+        assert [record["phase"] for record in profiles] == ["verify"]
+
+    def test_cli_without_profile_writes_no_tables(self, tmp_path, capsys):
+        path = tmp_path / "plain.jsonl"
+        assert (
+            main(["check-algorithm2", "--n", "2", "--trace", str(path)]) == 0
+        )
+        capsys.readouterr()
+        assert _profile_records(path) == []

@@ -1,0 +1,108 @@
+"""The :mod:`repro.api` façade and its deprecation shims.
+
+The redesign's public surface is four keyword-only functions returning
+unified :class:`repro.reports.Report` objects; the old eager engine
+re-exports from ``repro.fuzz`` warn for one release before removal.
+"""
+
+import inspect
+import warnings
+
+import pytest
+
+from repro import api
+from repro.reports import Report
+
+
+class TestSignatures:
+    def test_public_surface(self):
+        assert api.__all__ == ["verify", "refute", "fuzz", "explore"]
+
+    @pytest.mark.parametrize("name", ["verify", "refute", "fuzz", "explore"])
+    def test_every_parameter_is_keyword_only(self, name):
+        parameters = inspect.signature(getattr(api, name)).parameters
+        assert parameters, name
+        assert all(
+            parameter.kind is inspect.Parameter.KEYWORD_ONLY
+            for parameter in parameters.values()
+        )
+
+    @pytest.mark.parametrize("name", ["verify", "refute", "fuzz", "explore"])
+    def test_trace_is_threadable_everywhere(self, name):
+        assert "trace" in inspect.signature(getattr(api, name)).parameters
+
+    def test_scale_out_knobs(self):
+        assert "jobs" in inspect.signature(api.verify).parameters
+        assert "cache" in inspect.signature(api.verify).parameters
+        assert "seed" in inspect.signature(api.fuzz).parameters
+
+
+class TestBehaviour:
+    def test_verify_returns_an_ok_report_with_metrics(self):
+        report = api.verify(n=2)
+        assert isinstance(report, Report)
+        assert report.ok
+        assert report.metrics["counters"]["verify.instances"] == 4
+        assert report.body
+
+    def test_explore_reports_the_graph(self):
+        report = api.explore(n=2)
+        assert report.ok
+        assert report.metrics["counters"]["explorer.explorations"] == 1
+
+    def test_refute_single_candidate(self):
+        report = api.refute(candidate="one 2-SA")
+        assert report.ok
+        assert report.findings == ()
+
+    def test_fuzz_clean_candidate(self):
+        report = api.fuzz(
+            candidate="2-consensus from queue", seed=1, budget=50
+        )
+        assert report.ok
+        assert report.metrics["counters"]["fuzz.executions"] > 0
+
+    def test_positional_arguments_are_rejected(self):
+        with pytest.raises(TypeError):
+            api.verify(2)
+
+
+class TestFuzzDeprecationShim:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "FuzzFinding",
+            "FuzzReport",
+            "fuzz_campaign",
+            "mutate",
+            "run_shard",
+            "shard_seed",
+        ],
+    )
+    def test_engine_names_warn_from_the_package(self, name):
+        import repro.fuzz
+
+        with pytest.warns(DeprecationWarning, match=name):
+            resolved = getattr(repro.fuzz, name)
+        from repro.fuzz import engine
+
+        assert resolved is getattr(engine, name)
+
+    def test_engine_module_imports_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            from repro.fuzz.engine import (  # noqa: F401
+                FuzzReport,
+                fuzz_campaign,
+            )
+
+    def test_supported_names_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            from repro.fuzz import FuzzExecutor, FuzzTarget  # noqa: F401
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.fuzz
+
+        with pytest.raises(AttributeError):
+            repro.fuzz.definitely_not_a_name
