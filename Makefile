@@ -16,7 +16,7 @@ bench:
 bench-perf:
 	pytest benchmarks/bench_perf_core.py benchmarks/bench_perf_substrates.py \
 		benchmarks/bench_perf_parallel.py benchmarks/bench_perf_fuzz.py \
-		benchmarks/bench_perf_obs.py \
+		benchmarks/bench_perf_obs.py benchmarks/bench_perf_lint.py \
 		--benchmark-disable -q
 	@echo "--- BENCH_perf.json ---"
 	@cat BENCH_perf.json
@@ -31,7 +31,8 @@ experiments:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo OK; done
 
-# Protocol-aware static analysis (replayability contract R001-R006).
+# Protocol-aware static analysis (replayability contract R001-R006
+# plus the interprocedural R007/R10x family).
 lint:
 	python -m repro lint
 

@@ -1,0 +1,66 @@
+"""Performance bench for the two-phase lint engine.
+
+One entry in ``BENCH_perf.json``: ``lint_files_per_second`` — the
+shipped package linted end to end (both phases, all rules), measured
+**cold** (empty content-addressed cache, every file indexed) and
+**warm** (every phase-1 payload served from the cache, only the
+project-wide phase re-runs). The cold/warm pair is the number that
+justifies the cache: the delta is exactly the per-file indexing cost a
+warm re-lint skips. Reports are asserted byte-identical across the two
+states, so the speedup is never bought with a verdict change.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import repro
+from _perf_report import record, timed
+from repro.lint import lint_paths
+
+PACKAGE_DIR = Path(repro.__file__).parent
+
+
+class TestLintThroughput:
+    def test_bench_lint_files_per_second(self, benchmark):
+        cache_roots = []
+
+        def cold():
+            root = tempfile.mkdtemp(prefix="lint-bench-")
+            cache_roots.append(root)
+            return lint_paths([PACKAGE_DIR], cache_dir=root)
+
+        cold_timing = timed(cold, repeats=3)
+        cold_report = cold_timing.result
+        assert cold_report.findings == []
+        assert cold_report.files_reindexed == cold_report.files_checked
+        files = cold_report.files_checked
+
+        warm_root = cache_roots[-1]  # primed by the last cold run
+
+        def warm():
+            return lint_paths([PACKAGE_DIR], cache_dir=warm_root)
+
+        warm_timing = timed(warm, repeats=3)
+        warm_report = warm_timing.result
+        assert warm_report.files_reindexed == 0
+        assert warm_report.cache_hits == files
+        assert warm_report.to_json() == cold_report.to_json()
+
+        record(
+            "lint_files_per_second",
+            files=files,
+            rules=11,
+            cold_wall_seconds=cold_timing.median,
+            cold_files_per_second=files / cold_timing.median,
+            warm_wall_seconds=warm_timing.median,
+            warm_files_per_second=files / warm_timing.median,
+            warm_speedup=cold_timing.median / warm_timing.median,
+            repeats=cold_timing.repeats,
+        )
+
+        result = benchmark(warm)
+        assert result.files_checked == files
+
+        for root in cache_roots:
+            shutil.rmtree(root, ignore_errors=True)

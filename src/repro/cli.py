@@ -10,7 +10,8 @@ Commands:
 * ``power`` — print the set agreement power table;
 * ``list-candidates`` — name the candidate suite;
 * ``lint`` — the protocol-aware static analysis pass (replayability
-  contract R001–R006, see :mod:`repro.lint`);
+  contract R001–R006 plus the interprocedural R007/R10x family, see
+  :mod:`repro.lint`);
 * ``cache stats|clear`` — inspect or drop the persistent exploration
   cache (see :mod:`repro.analysis.cache`);
 * ``fuzz`` — seeded coverage-guided schedule/response fuzzing of the
@@ -350,7 +351,12 @@ def _cmd_lint(args: argparse.Namespace) -> Report:
         else None
     )
     try:
-        lint_report = lint_paths(paths, select=select)
+        lint_report = lint_paths(
+            paths,
+            select=select,
+            jobs=getattr(args, "jobs", 1),
+            cache_dir=getattr(args, "cache_dir", None),
+        )
     except ValueError as exc:
         line = f"repro lint: {exc}"
         return Report(
@@ -361,6 +367,10 @@ def _cmd_lint(args: argparse.Namespace) -> Report:
             body=(line,),
         )
     payload = json.loads(lint_report.to_json())
+    if getattr(args, "format", "text") == "sarif":
+        from .lint.sarif import render_sarif
+
+        payload["sarif"] = render_sarif(lint_report)
     code = lint_report.exit_code()
     text = lint_report.render_text(show_suppressed=args.show_suppressed)
     return Report(

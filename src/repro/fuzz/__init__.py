@@ -31,56 +31,19 @@ from .target import (
     target_from_spec,
 )
 
-#: Engine names previously re-exported eagerly. They now resolve through
-#: a deprecation shim: the supported entry point for campaigns is
-#: ``repro.api.fuzz()`` (which returns a unified ``repro.reports.Report``),
-#: and the engine internals live in ``repro.fuzz.engine``. One release of
-#: warning before the re-exports go away.
-_DEPRECATED_ENGINE_NAMES = (
-    "FuzzFinding",
-    "FuzzReport",
-    "fuzz_campaign",
-    "mutate",
-    "run_shard",
-    "shard_seed",
-)
-
-
-def __getattr__(name):
-    if name in _DEPRECATED_ENGINE_NAMES:
-        import warnings
-
-        warnings.warn(
-            f"importing {name!r} from 'repro.fuzz' is deprecated and will "
-            f"stop working in the next release; use repro.api.fuzz() for "
-            f"campaigns or import from 'repro.fuzz.engine'",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from . import engine
-
-        return getattr(engine, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 __all__ = [
     "CYCLE",
     "SAFETY",
     "CorpusStats",
     "FuzzCorpus",
     "FuzzExecutor",
-    "FuzzFinding",
-    "FuzzReport",
     "FuzzTarget",
     "GeneRun",
     "Genes",
     "algorithm2_target",
     "candidate_target",
     "corpus_fingerprint",
-    "fuzz_campaign",
-    "mutate",
     "replay_shrunk",
-    "run_shard",
-    "shard_seed",
     "shrink_genes",
     "target_from_spec",
 ]

@@ -7,6 +7,10 @@ Exit-code contract (so the linter can gate CI):
 * ``1`` — at least one active finding (any severity) or unparseable
   file;
 * ``2`` — usage error (unknown rule id, missing path).
+
+``--jobs N`` fans the per-file phase over worker processes and
+``--cache-dir`` reuses phase-1 results across runs; both are
+report-invariant — findings are byte-identical whatever you pick.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -39,7 +43,22 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--select",
         default=None,
         metavar="RULES",
-        help="comma-separated rule ids to run, e.g. R001,R006",
+        help="comma-separated rule ids to run, e.g. R001,R101",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the per-file phase (default: 1; "
+        "findings are byte-identical for any value)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed cache for per-file analysis; a warm "
+        "re-lint re-indexes only changed files",
     )
     parser.add_argument(
         "--show-suppressed",
@@ -70,12 +89,21 @@ def run_lint(args: argparse.Namespace) -> int:
         else None
     )
     try:
-        report = lint_paths(paths, select=select)
+        report = lint_paths(
+            paths,
+            select=select,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
     except ValueError as exc:
         print(f"repro lint: {exc}")
         return 2
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        from .sarif import render_sarif
+
+        print(render_sarif(report))
     else:
         print(report.render_text(show_suppressed=args.show_suppressed))
     return report.exit_code()
@@ -85,7 +113,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Protocol-aware static analysis for the repro library "
-        "(replayability contract R001-R006)",
+        "(replayability contract R001-R006 + interprocedural R007/R10x)",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

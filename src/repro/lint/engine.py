@@ -1,12 +1,28 @@
-"""The ``repro.lint`` rule engine: AST walks, findings, suppressions.
+"""The ``repro.lint`` engine: a two-phase, project-wide semantic pass.
 
 The linter enforces the *replayability contract* the bivalency results
 rest on (see ``docs/lint.md`` and the "Replayability contract" section
 of ``docs/model.md``): schedules and oracle choices must replay
 bit-for-bit, protocol programs must confine shared state to
-``yield Invoke(...)`` steps, and sequential specs must stay pure. Each
-invariant is one :class:`Rule`; the engine parses every file once and
-hands the same :class:`ModuleContext` to every registered rule.
+``yield Invoke(...)`` steps, and sequential specs must stay pure.
+
+The run has two phases:
+
+* **Phase 1 — per-file**: every file is parsed once into a
+  :class:`ModuleContext`; the per-file rules (R001–R006) walk it and
+  the file is distilled into a :class:`repro.lint.index.FileIndex`.
+  This phase is embarrassingly parallel (``jobs=N`` fans it over a
+  :class:`repro.analysis.parallel.VerificationPool`, merged in
+  submission order so findings are byte-identical across job counts)
+  and content-addressed (``cache_dir=`` stores each file's index +
+  findings under a sha256 fingerprint of its bytes, so a warm re-lint
+  re-analyzes only changed files).
+* **Phase 2 — whole-program**: the file indexes merge into a
+  :class:`repro.lint.callgraph.ProjectIndex` and the
+  :class:`ProjectRule` subclasses (R007, R101, R102, R104, R108) run
+  interprocedural checks over the call graph — the generalizations
+  that catch violations laundered through helper functions, which the
+  per-file pass provably cannot see.
 
 Suppressions are inline comments::
 
@@ -15,17 +31,31 @@ Suppressions are inline comments::
 
 A suppressed finding is dropped from the active list but kept in the
 report (``--show-suppressed`` prints them), so suppressions stay
-auditable. Stdlib-only by design: ``ast`` + ``re``, no new deps.
+auditable — and R007 reports suppressions that silence nothing.
+Stdlib-only by design: ``ast`` + ``re`` + ``hashlib``, no new deps.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
 
 #: Severity levels, in increasing order of gravity.
 SEVERITIES = ("warning", "error")
@@ -86,6 +116,7 @@ class ModuleContext:
         self.tree: ast.Module = ast.parse(source, filename=str(path))
         self.role: Optional[str] = self._infer_role(path)
         self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._comments: Optional[Dict[int, str]] = None
 
     @staticmethod
     def _infer_role(path: Path) -> Optional[str]:
@@ -137,11 +168,33 @@ class ModuleContext:
 
     # -- suppressions --------------------------------------------------------
 
+    @property
+    def comments(self) -> Dict[int, str]:
+        """line number → the ``#`` comment on it, via the tokenizer.
+
+        Only real COMMENT tokens count, so a ``# repro: noqa`` quoted
+        inside a docstring neither suppresses anything nor trips R007.
+        """
+        if self._comments is None:
+            comments: Dict[int, str] = {}
+            try:
+                tokens = tokenize.generate_tokens(
+                    io.StringIO(self.source).readline
+                )
+                for token in tokens:
+                    if token.type == tokenize.COMMENT:
+                        comments[token.start[0]] = token.string
+            except (tokenize.TokenError, IndentationError, SyntaxError):
+                pass  # keep whatever tokenized before the error
+            self._comments = comments
+        return self._comments
+
     def suppressions_on(self, line: int) -> Optional[Set[str]]:
         """Rule ids suppressed on ``line``; empty set = all rules."""
-        if not 1 <= line <= len(self.lines):
+        comment = self.comments.get(line)
+        if comment is None:
             return None
-        match = _NOQA_RE.search(self.lines[line - 1])
+        match = _NOQA_RE.search(comment)
         if match is None:
             return None
         rules = match.group("rules")
@@ -172,6 +225,46 @@ class Rule:
         yield  # pragma: no cover
 
 
+class ProjectRule(Rule):
+    """An interprocedural invariant, checked once over the whole run.
+
+    Project rules see the merged
+    :class:`repro.lint.callgraph.ProjectIndex` instead of one module at
+    a time — that is what lets them follow a violation through helper
+    calls across modules. :meth:`check` is a no-op so a project rule
+    can sit in the same registry as the per-file rules.
+
+    A subclass with ``runs_last = True`` (R007) additionally receives
+    the run's suppressed findings via :meth:`check_run` after every
+    other rule has finished.
+    """
+
+    runs_last: bool = False
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def check_run(
+        self, project, suppressed: Sequence[Finding]
+    ) -> Iterator[Finding]:
+        return self.check_project(project)
+
+    def project_finding(
+        self, display: str, line: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=display,
+            line=line,
+            message=message,
+        )
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -196,11 +289,19 @@ def all_rules() -> List[Rule]:
 
 @dataclass
 class LintReport:
-    """Everything one lint run produced."""
+    """Everything one lint run produced.
+
+    ``files_reindexed`` / ``cache_hits`` describe *how* the run worked
+    (they feed the cache-warm tests and the perf bench) and are
+    deliberately excluded from :meth:`to_json`, which must stay
+    byte-identical across cold and warm cache runs.
+    """
 
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
     files_checked: int = 0
+    files_reindexed: int = 0
+    cache_hits: int = 0
 
     @property
     def errors(self) -> List[Finding]:
@@ -266,16 +367,110 @@ def _display_path(path: Path) -> str:
         return str(path)
 
 
+# -- phase 1: per-file analysis ----------------------------------------------
+
+_lint_salt: Optional[str] = None
+
+
+def lint_code_salt() -> str:
+    """sha256 over every ``.py`` file of the lint package itself.
+
+    Mixed into every per-file cache fingerprint, so editing the engine,
+    a rule, or the indexer busts the lint cache — the same "staleness
+    is structurally impossible" stance as
+    :func:`repro.analysis.cache.code_salt`, scoped to the linter.
+    """
+    global _lint_salt
+    if _lint_salt is None:
+        package = Path(__file__).resolve().parent
+        blob = hashlib.sha256()
+        for path in sorted(package.rglob("*.py")):
+            blob.update(str(path.relative_to(package)).encode())
+            blob.update(path.read_bytes())
+        _lint_salt = blob.hexdigest()
+    return _lint_salt
+
+
+def file_fingerprint(display: str, content: bytes, rule_key: str) -> str:
+    """Content address of one file's phase-1 payload."""
+    from .index import INDEX_SCHEMA
+
+    blob = hashlib.sha256()
+    blob.update(
+        repr(("lint-file", INDEX_SCHEMA, lint_code_salt(), display, rule_key))
+        .encode()
+    )
+    blob.update(content)
+    return blob.hexdigest()
+
+
+def _analyze_file(
+    path_str: str, display: str, rule_ids: Tuple[str, ...]
+) -> Dict[str, object]:
+    """Phase-1 worker: parse, run per-file rules, build the index.
+
+    Module-level so :class:`repro.analysis.parallel.VerificationPool`
+    workers can import it by qualified name; the returned payload is
+    pure data (picklable, cacheable).
+    """
+    from .index import build_file_index
+
+    path = Path(path_str)
+    try:
+        source = path.read_text(encoding="utf-8")
+        module = ModuleContext(path, display, source)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        return {
+            "index": None,
+            "findings": [
+                Finding(
+                    rule_id="R000",
+                    severity="error",
+                    path=display,
+                    line=getattr(exc, "lineno", 1) or 1,
+                    message=f"file does not parse: {exc}",
+                )
+            ],
+            "suppressed": [],
+        }
+    wanted = set(rule_ids)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in all_rules():
+        if isinstance(rule, ProjectRule) or rule.rule_id not in wanted:
+            continue
+        for finding in rule.check(module):
+            if module.is_suppressed(finding):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+    return {
+        "index": build_file_index(module),
+        "findings": findings,
+        "suppressed": suppressed,
+    }
+
+
+# -- the driver --------------------------------------------------------------
+
+
 def lint_paths(
     paths: Sequence[Path],
     rules: Optional[Sequence[Rule]] = None,
     select: Optional[Iterable[str]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> LintReport:
-    """Lint every ``.py`` file under ``paths`` with the given rules.
+    """Lint every ``.py`` file under ``paths``.
 
-    ``select`` restricts the run to the named rule ids. Files are
-    visited in sorted order, so reports are deterministic — the linter
-    holds itself to rule R001.
+    ``select`` restricts the run to the named rule ids (per-file and
+    project rules alike). ``jobs`` fans phase 1 over worker processes;
+    results merge in submission order, so findings are byte-identical
+    for any job count. ``cache_dir`` enables the content-addressed
+    phase-1 cache (ignored when explicit ``rules`` instances are
+    passed — their behaviour is not captured by the fingerprint).
+    Files are visited in sorted order and findings sorted at the end,
+    so reports are deterministic — the linter holds itself to R001.
     """
     active_rules = list(rules) if rules is not None else all_rules()
     if select is not None:
@@ -284,31 +479,131 @@ def lint_paths(
         if unknown:
             raise ValueError(f"unknown lint rule(s): {', '.join(sorted(unknown))}")
         active_rules = [r for r in active_rules if r.rule_id in wanted]
-    report = LintReport()
-    for file_path in _collect_files([Path(p) for p in paths]):
+    file_rules = [r for r in active_rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active_rules if isinstance(r, ProjectRule)]
+    rule_ids = tuple(sorted(rule.rule_id for rule in file_rules))
+    rule_key = ",".join(rule_ids)
+
+    cache = None
+    if cache_dir is not None and rules is None:
+        from ..analysis.cache import ExplorationCache
+
+        cache = ExplorationCache(cache_dir)
+
+    files = _collect_files([Path(p) for p in paths])
+    report = LintReport(files_checked=len(files))
+    payloads: List[Optional[Dict[str, object]]] = [None] * len(files)
+    pending: List[Tuple[int, Optional[str], str, Path]] = []
+
+    for pos, file_path in enumerate(files):
         display = _display_path(file_path)
         try:
-            source = file_path.read_text(encoding="utf-8")
-            module = ModuleContext(file_path, display, source)
-        except (SyntaxError, UnicodeDecodeError) as exc:
-            report.findings.append(
-                Finding(
-                    rule_id="R000",
-                    severity="error",
-                    path=display,
-                    line=getattr(exc, "lineno", 1) or 1,
-                    message=f"file does not parse: {exc}",
-                )
-            )
-            report.files_checked += 1
+            content = file_path.read_bytes()
+        except OSError as exc:
+            payloads[pos] = {
+                "index": None,
+                "findings": [
+                    Finding("R000", "error", display, 1, f"unreadable: {exc}")
+                ],
+                "suppressed": [],
+            }
             continue
-        report.files_checked += 1
-        for rule in active_rules:
-            for finding in rule.check(module):
-                if module.is_suppressed(finding):
+        fp = None
+        if cache is not None:
+            fp = file_fingerprint(display, content, rule_key)
+            payload = cache.get(fp)
+            if payload is not None:
+                payloads[pos] = payload
+                report.cache_hits += 1
+                continue
+        pending.append((pos, fp, display, file_path))
+
+    if pending:
+        from ..analysis.parallel import VerificationPool, WorkItem
+
+        report.files_reindexed = len(pending)
+        pool = VerificationPool(jobs=jobs)
+        results = pool.run(
+            [
+                WorkItem(
+                    key=pos,
+                    fn=_analyze_file,
+                    args=(str(file_path), display, rule_ids),
+                )
+                for pos, _fp, display, file_path in pending
+            ]
+        )
+        for (pos, fp, display, _file_path), result in zip(pending, results):
+            if not result.ok:
+                payloads[pos] = {
+                    "index": None,
+                    "findings": [
+                        Finding(
+                            "R000",
+                            "error",
+                            display,
+                            1,
+                            f"lint analysis failed: {result.failure.render()}",
+                        )
+                    ],
+                    "suppressed": [],
+                }
+                continue
+            payloads[pos] = result.value
+            if cache is not None and fp is not None:
+                cache.put(fp, result.value)
+
+    for payload in payloads:
+        if payload is None:  # pragma: no cover - defensive
+            continue
+        report.findings.extend(payload["findings"])
+        report.suppressed.extend(payload["suppressed"])
+
+    # -- phase 2: whole-program rules over the merged index ---------------
+    if project_rules:
+        from .callgraph import ProjectIndex
+
+        indexes = [
+            payload["index"]
+            for payload in payloads
+            if payload is not None and payload["index"] is not None
+        ]
+        project = ProjectIndex(indexes)
+        by_display = {index.display: index for index in indexes}
+        ordered = sorted(
+            project_rules, key=lambda rule: (rule.runs_last, rule.rule_id)
+        )
+        for rule in ordered:
+            if rule.runs_last:
+                produced = rule.check_run(project, list(report.suppressed))
+            else:
+                produced = rule.check_project(project)
+            for finding in produced:
+                index = by_display.get(finding.path)
+                if index is not None and _suppresses_project(
+                    index, finding, explicit_only=rule.runs_last
+                ):
                     report.suppressed.append(finding)
                 else:
                     report.findings.append(finding)
+
     report.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
     report.suppressed.sort(key=lambda f: (f.path, f.line, f.rule_id))
     return report
+
+
+def _suppresses_project(index, finding: Finding, explicit_only: bool) -> bool:
+    """Suppression check for phase-2 findings, via the file index.
+
+    R007 (``explicit_only``) is only silenced by a noqa naming it —
+    otherwise a *bare* unused ``# repro: noqa`` would suppress its own
+    unused-ness and never be reported.
+    """
+    from .index import NOQA_ALL
+
+    rules = index.noqa.get(finding.line)
+    if rules is None:
+        return False
+    if explicit_only:
+        return finding.rule_id in rules
+    return NOQA_ALL in rules or finding.rule_id in rules

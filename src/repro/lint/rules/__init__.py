@@ -1,6 +1,7 @@
 """Rule modules — importing this package registers every rule.
 
-One module per invariant of the replayability contract:
+One module per invariant of the replayability contract. Per-file rules
+(phase 1, run module by module):
 
 * ``r001_determinism`` — no unseeded randomness, clocks, ``id()`` keys,
   or raw-set iteration in replay-critical code;
@@ -11,6 +12,19 @@ One module per invariant of the replayability contract:
 * ``r005_adversary_state`` — seeded adversaries expose reproducible
   state;
 * ``r006_silent_fallback`` — scripted replays must support strict mode.
+
+Project rules (phase 2, run once over the merged call graph):
+
+* ``r007_unused_suppression`` — ``# repro: noqa`` lines that silence
+  nothing are reported;
+* ``r101_determinism_taint`` — nondeterministic values tracked through
+  returns and cross-module calls into replay-critical roles;
+* ``r102_transitive_shared_access`` — program coroutines reaching
+  shared writes through helper chains;
+* ``r104_transitive_spec_purity`` — spec transitions calling impure
+  helpers;
+* ``r108_yield_discipline`` — discarded program-coroutine calls and
+  dead-yield loops.
 """
 
 from . import (  # noqa: F401
@@ -20,4 +34,9 @@ from . import (  # noqa: F401
     r004_spec_purity,
     r005_adversary_state,
     r006_silent_fallback,
+    r007_unused_suppression,
+    r101_determinism_taint,
+    r102_transitive_shared_access,
+    r104_transitive_spec_purity,
+    r108_yield_discipline,
 )

@@ -1,0 +1,57 @@
+"""R007 — unused suppressions: every ``noqa`` must still earn its keep.
+
+The suppression audit in ``tests/lint/test_self_clean.py`` pins the
+exact set of sanctioned escape hatches in the package. That audit only
+stays honest if suppressions that stopped suppressing anything — the
+offending code moved, or a rule got smarter — are surfaced rather than
+silently accumulating. R007 runs *after* every other rule
+(``runs_last``) and reports each ``# repro: noqa`` line that silenced
+no finding in this run.
+
+An R007 finding is itself only suppressible by a noqa that names R007
+explicitly; otherwise a bare unused ``# repro: noqa`` would suppress
+its own unused-ness and never be reported.
+
+Severity is ``warning``: a stale suppression is debt, not breakage —
+but note that ``--select`` runs disable rules, which legitimately
+leaves their suppressions unused, so R007 is most meaningful on a
+full-rule run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..engine import Finding, ProjectRule, register
+from ..index import NOQA_ALL
+
+
+@register
+class UnusedSuppressionRule(ProjectRule):
+    rule_id = "R007"
+    severity = "warning"
+    title = "unused '# repro: noqa' suppressions"
+
+    runs_last = True
+
+    def check_run(
+        self, project, suppressed: Sequence[Finding]
+    ) -> Iterator[Finding]:
+        used = {(f.path, f.line) for f in suppressed}
+        for file in project.iter_files():
+            for line in sorted(file.noqa):
+                if (file.display, line) in used:
+                    continue
+                rules = file.noqa[line]
+                label = (
+                    ""
+                    if rules == (NOQA_ALL,)
+                    else f"[{','.join(r for r in rules if r != NOQA_ALL)}]"
+                )
+                yield self.project_finding(
+                    file.display,
+                    line,
+                    f"unused suppression '# repro: noqa{label}': no "
+                    f"finding on this line was silenced by it; delete the "
+                    f"comment or fix the rule selection",
+                )

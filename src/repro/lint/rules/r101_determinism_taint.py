@@ -1,0 +1,60 @@
+"""R101 — determinism taint: the interprocedural generalization of R001.
+
+R001 flags a clock read or global-RNG draw *where it happens*. That is
+blind to laundering: a helper in ``workloads/`` (outside R001's scope)
+that returns ``time.time()`` passes a nondeterministic value into the
+scheduler with no flagged line anywhere. R101 closes the gap with the
+:func:`repro.lint.taint.tainted_returns` fixpoint — a function whose
+return value derives from unseeded ``random.*``, a clock read, or
+``id()`` (directly, through local assignments, or through further
+calls) taints every call site, and call sites in replay-critical roles
+are findings.
+
+The finding lands on the *call site* in the deterministic role, with a
+witness chain back to the seed line, so the fix is local: seed an RNG,
+or pass the value in explicitly from outside the replay path.
+
+Suppression composes with R001: ``# repro: noqa[R001]`` on the seed
+line sanctions the source, so nothing downstream is tainted;
+``# repro: noqa[R101]`` on the call site accepts one consumption.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import Finding, ProjectRule, register
+from ..taint import _label, tainted_returns
+
+
+@register
+class DeterminismTaintRule(ProjectRule):
+    rule_id = "R101"
+    severity = "error"
+    title = "determinism taint (nondeterministic values reaching replay-critical roles)"
+
+    #: Same roles as R001 — the code whose behaviour is replay evidence.
+    SCOPE = {"protocols", "analysis", "runtime", "fuzz", "obs"}
+
+    def check_project(self, project) -> Iterator[Finding]:
+        tainted = tainted_returns(project)
+        for key in project.sorted_function_keys():
+            file, fn = project.functions[key]
+            if file.role not in self.SCOPE:
+                continue
+            for site in fn.calls:
+                callee = project.resolve_call(file, fn, site.ref)
+                if callee is None or callee == key:
+                    continue
+                verdict = tainted.get(callee)
+                if verdict is None:
+                    continue
+                yield self.project_finding(
+                    file.display,
+                    site.lineno,
+                    f"{fn.qualname} consumes the return value of "
+                    f"{_label(callee)}, which derives from "
+                    f"{verdict.render_chain()}; replay-critical code must "
+                    f"not consume nondeterministic values (seed an RNG or "
+                    f"pass the value in explicitly)",
+                )

@@ -1,0 +1,66 @@
+"""R102 — transitive shared access: R002 through any helper chain.
+
+R002's per-file contract: a program coroutine touches shared state
+only via ``yield Invoke(...)``. Its blind spot is one function call —
+``program`` calling ``bump_counter()`` where the *helper* does the
+``global`` write keeps every individually-checked line clean. R102
+follows the call graph: any program coroutine whose call chain reaches
+a module-global / closed-over write
+(:func:`repro.lint.taint.shared_writers`), or a ``self.*`` call chain
+that mutates the shared implementation instance
+(:func:`repro.lint.taint.self_writers`), is flagged at the call site
+with the witness chain down to the write.
+
+Why it matters here: under the atomic-step semantics of the model, a
+hidden in-memory side channel between coroutines gives them agreement
+power the object model does not grant — exactly the kind of accident
+that fakes a consensus number (see ``docs/model.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import Finding, ProjectRule, register
+from ..taint import _label, self_writers, shared_writers
+
+
+@register
+class TransitiveSharedAccessRule(ProjectRule):
+    rule_id = "R102"
+    severity = "error"
+    title = "transitive shared access (program coroutines reaching writes through helpers)"
+
+    def check_project(self, project) -> Iterator[Finding]:
+        shared = shared_writers(project)
+        on_self = self_writers(project)
+        for key in project.sorted_function_keys():
+            file, fn = project.functions[key]
+            if file.role != "protocols" or not fn.is_program:
+                continue
+            for site in fn.calls:
+                callee = project.resolve_call(file, fn, site.ref)
+                if callee is None or callee == key:
+                    continue
+                verdict = shared.get(callee)
+                if verdict is not None:
+                    yield self.project_finding(
+                        file.display,
+                        site.lineno,
+                        f"program coroutine {fn.qualname} reaches a "
+                        f"shared-state write through {_label(callee)}: "
+                        f"{verdict.render_chain()}; programs may only touch "
+                        f"shared state via yield Invoke(...)",
+                    )
+                    continue
+                if site.ref[0] == "self":
+                    verdict = on_self.get(callee)
+                    if verdict is not None:
+                        yield self.project_finding(
+                            file.display,
+                            site.lineno,
+                            f"program coroutine {fn.qualname} mutates its "
+                            f"shared instance through {_label(callee)}: "
+                            f"{verdict.render_chain()}; route the write "
+                            f"through yield Invoke(...)",
+                        )

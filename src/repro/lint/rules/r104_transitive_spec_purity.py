@@ -1,0 +1,60 @@
+"""R104 — transitive spec purity: R004 through helper calls.
+
+R004 keeps ``SequentialSpec.responses`` / ``initial_state`` pure, but
+only sees the method body: move the ``print`` or the ``global`` write
+into a module helper — possibly in another file — and every line R004
+inspects is clean. R104 asks the
+:func:`repro.lint.taint.impure_functions` fixpoint instead: a call
+from a checked spec method to any function that transitively performs
+I/O, writes shared state, or consumes nondeterminism is flagged at the
+call site, with the witness chain down to the offending line.
+
+The runtime, the explorer, and the linearizability checker all replay
+the same transition relation; an impure helper makes their verdicts
+diverge in ways no per-file diff will ever explain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import Finding, ProjectRule, register
+from ..taint import _label, impure_functions
+
+_CHECKED_METHODS = {"responses", "initial_state"}
+
+
+@register
+class TransitiveSpecPurityRule(ProjectRule):
+    rule_id = "R104"
+    severity = "error"
+    title = "transitive spec purity (SequentialSpec transitions calling impure helpers)"
+
+    def check_project(self, project) -> Iterator[Finding]:
+        impure = impure_functions(project)
+        for key in project.sorted_function_keys():
+            file, fn = project.functions[key]
+            if fn.class_name is None or fn.name not in _CHECKED_METHODS:
+                continue
+            spec_classes = {
+                cls.name
+                for cls in file.classes
+                if "SequentialSpec" in cls.bases
+            }
+            if fn.class_name not in spec_classes:
+                continue
+            for site in fn.calls:
+                callee = project.resolve_call(file, fn, site.ref)
+                if callee is None or callee == key:
+                    continue
+                verdict = impure.get(callee)
+                if verdict is None:
+                    continue
+                yield self.project_finding(
+                    file.display,
+                    site.lineno,
+                    f"{fn.qualname} calls impure helper {_label(callee)}: "
+                    f"{verdict.render_chain()}; spec transitions must stay "
+                    f"pure all the way down (express nondeterminism as "
+                    f"extra Outcome entries)",
+                )

@@ -1,0 +1,62 @@
+"""R108 — yield-discipline reachability: coroutine plumbing mistakes.
+
+Two failure modes the per-file rules cannot see:
+
+* **Discarded coroutine call**: ``helper(pid)`` on a statement line,
+  where ``helper`` is a program coroutine (it ``yield Invoke(...)``s).
+  Calling a generator function runs *no* body code — the call builds a
+  generator and throws it away, so the invocation the author expected
+  silently never happens. The helper may live in another module; only
+  the call graph knows it is a coroutine. The fix is ``yield from
+  helper(pid)`` inside a program, or driving it through the runtime.
+* **Dead-yield loop**: a ``while True:`` in a program coroutine whose
+  yields all sit in statically unreachable branches
+  (``if False: yield ...``). R003 flags loops with *no* yield
+  anywhere; this variant looks disciplined per-file but spins without
+  ever offering the adversary a step, which breaks the wait-freedom
+  accounting exactly the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import Finding, ProjectRule, register
+from ..taint import _label
+
+
+@register
+class YieldDisciplineRule(ProjectRule):
+    rule_id = "R108"
+    severity = "error"
+    title = "yield discipline (discarded coroutine calls, dead-yield loops)"
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for key in project.sorted_function_keys():
+            file, fn = project.functions[key]
+            for site in fn.calls:
+                if not site.discarded:
+                    continue
+                callee = project.resolve_call(file, fn, site.ref)
+                if callee is None or callee == key:
+                    continue
+                _cfile, cfn = project.functions[callee]
+                if not cfn.is_program:
+                    continue
+                yield self.project_finding(
+                    file.display,
+                    site.lineno,
+                    f"{fn.qualname} calls program coroutine "
+                    f"{_label(callee)} and discards the generator: no "
+                    f"Invoke step ever runs; delegate with 'yield from "
+                    f"{site.ref[-1]}(...)' or drive it through the runtime",
+                )
+            if file.role == "protocols" and fn.is_program:
+                for seed in fn.dead_yield_loops:
+                    yield self.project_finding(
+                        file.display,
+                        seed.lineno,
+                        f"{fn.qualname} contains a {seed.desc}; the loop "
+                        f"can spin forever without offering the adversary "
+                        f"a step, breaking wait-freedom accounting",
+                    )

@@ -1,0 +1,76 @@
+"""SARIF 2.1.0 rendering of a lint report, for GitHub code scanning.
+
+``python -m repro lint --format sarif > lint.sarif`` produces a
+single-run SARIF log that ``github/codeql-action/upload-sarif`` (see
+``.github/workflows/ci.yml``) turns into code-scanning annotations on
+the offending lines. Only *active* findings are emitted — suppressed
+findings stay a local-audit concern.
+
+The serialization is deterministic (sorted keys, findings already
+sorted by the engine), so the SARIF byte-identity contract matches the
+text/json formats across ``--jobs`` and cache states.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .engine import LintReport, all_rules
+
+#: SARIF severity levels for our two rule severities.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(report: LintReport) -> str:
+    """The report as a SARIF 2.1.0 JSON document (one run)."""
+    rules: List[Dict[str, object]] = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.title},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        }
+        for rule in all_rules()
+    ]
+    rule_order = {entry["id"]: pos for pos, entry in enumerate(rules)}
+    results: List[Dict[str, object]] = []
+    for finding in report.findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {"startLine": finding.line},
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in rule_order:
+            result["ruleIndex"] = rule_order[finding.rule_id]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

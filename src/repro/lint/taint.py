@@ -1,0 +1,208 @@
+"""The interprocedural fixpoints behind the R10x rule family.
+
+Each analysis is a monotone fixpoint over the project call graph,
+growing from the per-file **seeds** recorded at index time
+(:mod:`repro.lint.index`). Every verdict carries a *witness chain* —
+the path of functions from the flagged one down to the seed line — so
+a finding can say not just "this helper is tainted" but *why*, across
+modules.
+
+Determinism: functions are visited in sorted key order on every round
+and a verdict, once assigned, is never replaced — so the witness chain
+a finding renders is byte-stable across runs, ``--jobs`` values and
+cache states.
+
+Analyses:
+
+* :func:`tainted_returns` — functions whose **return value** derives
+  from unseeded ``random.*``, a clock read, or ``id()``; propagated
+  through the ``return_taint_calls`` symbols of the local dataflow
+  summary (R101).
+* :func:`shared_writers` — functions that write module-global /
+  closed-over state, directly or via any callee (R102, R104).
+* :func:`self_writers` — methods that mutate their instance, directly
+  or via further ``self.*`` calls (R102: a program coroutine calling
+  ``self.helper()`` that stores on ``self`` launders hidden shared
+  state past the per-file R002).
+* :func:`impure_functions` — functions that perform I/O, write shared
+  state, or consume nondeterminism, transitively (R104).
+
+Seeds suppressed at their source line (``# repro: noqa[R001]`` on a
+sanctioned clock read, say) never enter a fixpoint — see
+``SUPPRESSION_FAMILIES`` in :mod:`repro.lint.index`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from .callgraph import FunctionKey, ProjectIndex
+from .index import FunctionInfo, Seed
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One function's positive analysis result plus its evidence."""
+
+    key: FunctionKey
+    #: Human rendering of the originating seed, e.g.
+    #: ``"time.time() at src/x.py:12"``.
+    seed: str
+    #: Function names from the seed's owner up to (excluding) ``key``'s
+    #: callers — rendered into "via a -> b" chains in findings.
+    chain: Tuple[str, ...]
+
+    def render_chain(self) -> str:
+        if len(self.chain) <= 1:
+            return self.seed
+        path = " -> ".join(reversed(self.chain))
+        return f"{self.seed} via {path}"
+
+
+def _label(key: FunctionKey) -> str:
+    module, qualname = key
+    return f"{module}.{qualname}"
+
+
+def _seed_desc(project: ProjectIndex, key: FunctionKey, seed: Seed) -> str:
+    entry = project.function(key)
+    display = entry[0].display if entry else key[0]
+    return f"{seed.desc} at {display}:{seed.lineno}"
+
+
+def _fixpoint(
+    project: ProjectIndex,
+    direct: Callable[[FunctionInfo], Optional[Seed]],
+    edges: Callable[[FunctionKey], Tuple[FunctionKey, ...]],
+) -> Mapping[FunctionKey, Verdict]:
+    """Grow ``direct`` seeds along ``edges`` until nothing changes."""
+    verdicts: Dict[FunctionKey, Verdict] = {}
+    keys = project.sorted_function_keys()
+    for key in keys:
+        _file, fn = project.functions[key]
+        seed = direct(fn)
+        if seed is not None:
+            verdicts[key] = Verdict(
+                key=key,
+                seed=_seed_desc(project, key, seed),
+                chain=(_label(key),),
+            )
+    changed = True
+    while changed:
+        changed = False
+        for key in keys:
+            if key in verdicts:
+                continue
+            for callee in edges(key):
+                got = verdicts.get(callee)
+                if got is not None:
+                    verdicts[key] = Verdict(
+                        key=key,
+                        seed=got.seed,
+                        chain=got.chain + (_label(key),),
+                    )
+                    changed = True
+                    break
+    return verdicts
+
+
+def _all_callees(project: ProjectIndex):
+    cache: Dict[FunctionKey, Tuple[FunctionKey, ...]] = {}
+
+    def edges(key: FunctionKey) -> Tuple[FunctionKey, ...]:
+        if key not in cache:
+            seen = []
+            for callee, _site in project.callees(key):
+                if callee != key and callee not in seen:
+                    seen.append(callee)
+            cache[key] = tuple(seen)
+        return cache[key]
+
+    return edges
+
+
+def tainted_returns(
+    project: ProjectIndex,
+) -> Mapping[FunctionKey, Verdict]:
+    """Functions whose return value is nondeterministic (R101)."""
+
+    def compute(project: ProjectIndex):
+        resolved_return_calls: Dict[
+            FunctionKey, Tuple[FunctionKey, ...]
+        ] = {}
+        for key in project.sorted_function_keys():
+            file, fn = project.functions[key]
+            callees = []
+            for ref in fn.return_taint_calls:
+                callee = project.resolve_call(file, fn, ref)
+                if callee is not None and callee != key:
+                    if callee not in callees:
+                        callees.append(callee)
+            resolved_return_calls[key] = tuple(callees)
+
+        def direct(fn: FunctionInfo) -> Optional[Seed]:
+            if fn.return_taint_direct and fn.taint_seeds:
+                return fn.taint_seeds[0]
+            if fn.return_taint_direct:
+                return Seed(fn.lineno, "a nondeterministic expression")
+            return None
+
+        return _fixpoint(
+            project, direct, lambda key: resolved_return_calls[key]
+        )
+
+    return project.analysis("tainted_returns", compute)
+
+
+def shared_writers(project: ProjectIndex) -> Mapping[FunctionKey, Verdict]:
+    """Functions reaching a module-global / closed-over write (R102)."""
+
+    def compute(project: ProjectIndex):
+        return _fixpoint(
+            project,
+            lambda fn: fn.shared_seeds[0] if fn.shared_seeds else None,
+            _all_callees(project),
+        )
+
+    return project.analysis("shared_writers", compute)
+
+
+def self_writers(project: ProjectIndex) -> Mapping[FunctionKey, Verdict]:
+    """Methods that mutate their instance, through ``self.*`` chains."""
+
+    def compute(project: ProjectIndex):
+        cache: Dict[FunctionKey, Tuple[FunctionKey, ...]] = {}
+
+        def self_edges(key: FunctionKey) -> Tuple[FunctionKey, ...]:
+            if key not in cache:
+                seen = []
+                for callee, site in project.callees(key):
+                    if site.ref[0] == "self" and callee != key:
+                        if callee not in seen:
+                            seen.append(callee)
+                cache[key] = tuple(seen)
+            return cache[key]
+
+        return _fixpoint(
+            project,
+            lambda fn: fn.self_seeds[0] if fn.self_seeds else None,
+            self_edges,
+        )
+
+    return project.analysis("self_writers", compute)
+
+
+def impure_functions(project: ProjectIndex) -> Mapping[FunctionKey, Verdict]:
+    """Functions that do I/O, shared writes, or nondeterminism (R104)."""
+
+    def compute(project: ProjectIndex):
+        def direct(fn: FunctionInfo) -> Optional[Seed]:
+            for seeds in (fn.io_seeds, fn.shared_seeds, fn.taint_seeds):
+                if seeds:
+                    return seeds[0]
+            return None
+
+        return _fixpoint(project, direct, _all_callees(project))
+
+    return project.analysis("impure_functions", compute)

@@ -154,10 +154,18 @@ def render_report(report: Report, format: str = "text") -> str:
     """The one renderer every CLI command routes through.
 
     ``text`` prints the body lines exactly as the pre-unification
-    printers did; ``json`` is the full serialized report.
+    printers did; ``json`` is the full serialized report. ``sarif`` is
+    available for commands that stash a pre-rendered SARIF document
+    under ``data["sarif"]`` (currently ``lint``) — it prints the raw
+    document so the output uploads to code scanning unwrapped.
     """
     if format == "json":
         return report.to_json()
     if format == "text":
         return "\n".join(report.body)
+    if format == "sarif":
+        document = report.data.get("sarif") if report.data else None
+        if not isinstance(document, str):
+            raise ValueError("this command does not produce SARIF output")
+        return document
     raise ValueError(f"unknown format: {format!r}")

@@ -1,0 +1,12 @@
+"""CLEAN twin of ``r101_taint``: same shape, pure helper.
+
+``pure_span`` computes from its arguments only, so nothing here is
+tainted — the R101 fixpoint must stay silent.
+"""
+
+from r101_helpers import pure_span
+
+
+def schedule_key(pid, start, end):
+    width = pure_span(start, end)
+    return (width, pid)

@@ -1,0 +1,18 @@
+"""VIOLATION (R101): replay-critical code consuming a laundered clock.
+
+Every line here is clean under R001 — no clock read, no RNG, no
+``id()``. The nondeterminism lives in ``r101_helpers`` (a workload
+module R001 does not even scope), and reaches the schedule key only
+through the helper's return value.
+"""
+
+from r101_helpers import current_stamp, relabel
+
+
+def schedule_key(pid):
+    stamp = current_stamp()
+    return (stamp, pid)
+
+
+def run_label(pid):
+    return relabel(pid)

@@ -1,0 +1,21 @@
+"""Helpers for the R104 fixtures, in a ``core`` role module.
+
+``audit`` performs I/O, but it is not a spec method, so R004 never
+inspects it — and no other per-file rule flags a ``print`` in ``core``
+code. The impurity only matters once a ``SequentialSpec`` transition
+in another module calls it.
+"""
+
+
+def audit(state):
+    print("audit:", state)
+
+
+def checked_audit(state):
+    # Second hop to the same I/O.
+    audit(state)
+    return state
+
+
+def pure_total(state):
+    return sum(state)

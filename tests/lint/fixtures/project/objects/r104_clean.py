@@ -1,0 +1,18 @@
+"""CLEAN twin of ``r104_spec``: every helper in the chain is pure.
+
+This file is linted, never imported.
+"""
+
+from r104_helpers import pure_total
+from repro.objects.spec import SequentialSpec
+
+
+class TotallingSpec(SequentialSpec):
+    kind = "totalling"
+
+    def initial_state(self):
+        return ()
+
+    def responses(self, state, operation):
+        total = pure_total(state)
+        return [((state, operation), total)]

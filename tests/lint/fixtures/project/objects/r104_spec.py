@@ -1,0 +1,24 @@
+"""VIOLATION (R104): a spec transition calling an impure helper.
+
+R004 walks the method bodies and finds nothing: no ``print``, no state
+mutation, no ``random``. The I/O happens inside ``r104_helpers.audit``
+— one module away — so only the interprocedural impurity fixpoint
+connects the spec to it.
+
+This file is linted, never imported.
+"""
+
+from r104_helpers import checked_audit, pure_total
+from repro.objects.spec import SequentialSpec
+
+
+class AuditedSpec(SequentialSpec):
+    kind = "audited"
+
+    def initial_state(self):
+        return checked_audit(())
+
+    def responses(self, state, operation):
+        total = pure_total(state)
+        checked_audit(state)
+        return [((state, operation), total)]

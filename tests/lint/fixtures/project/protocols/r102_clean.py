@@ -1,0 +1,18 @@
+"""CLEAN twin of ``r102_laundered``: the helper computes, never writes.
+
+The program coroutine calls a pure helper; all shared effects go
+through ``yield Invoke(...)`` — R102 must stay silent.
+"""
+
+from repro.runtime.events import Invoke
+from repro.types import op
+
+
+def tag_for(pid, value):
+    return (pid, value)
+
+
+def program(pid, value, memory):
+    tag = tag_for(pid, value)
+    yield Invoke("REG", op("write", tag))
+    yield Invoke("REG", op("read"))

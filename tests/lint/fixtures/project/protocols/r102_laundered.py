@@ -1,0 +1,29 @@
+"""VIOLATION (R102): shared write laundered through a helper.
+
+R002 inspects program coroutine bodies line by line: ``log_step(pid)``
+is just a function call, and ``log_step`` itself is not a program
+coroutine, so neither function trips the per-file pass. The helper's
+``journal.append`` is a module-global write all the same — the call
+graph is the only place the two facts meet.
+"""
+
+from repro.runtime.events import Invoke
+from repro.types import op
+
+journal = []
+
+
+def log_step(entry):
+    journal.append(entry)
+
+
+def note_round(pid, round_no):
+    # Second hop: still reaches the same shared write.
+    log_step((pid, round_no))
+
+
+def program(pid, value, memory):
+    log_step(pid)
+    yield Invoke("REG", op("write", value))
+    note_round(pid, 0)
+    yield Invoke("REG", op("read"))

@@ -1,0 +1,17 @@
+"""CLEAN twin of ``r108_discard``: the coroutine is delegated to.
+
+``yield from acquire(pid)`` actually drives the helper's ``Invoke``
+steps through the enclosing program — R108 must stay silent.
+"""
+
+from repro.runtime.events import Invoke
+from repro.types import op
+
+
+def acquire_lock(pid):
+    yield Invoke("LOCK", op("acquire", pid))
+
+
+def program(pid, value, memory):
+    yield from acquire_lock(pid)
+    yield Invoke("REG", op("write", value))

@@ -1,0 +1,17 @@
+"""VIOLATION (R108): a loop whose only yields are unreachable.
+
+R003 flags constant-true loops with *no* yield in the body; this loop
+contains one, so the per-file pass is satisfied — but the yield sits
+under ``if False`` and can never execute, so the loop spins without
+ever offering the adversary a step.
+"""
+
+from repro.runtime.events import Invoke
+from repro.types import op
+
+
+def program(pid, value, memory):
+    yield Invoke("REG", op("write", value))
+    while True:
+        if False:
+            yield Invoke("REG", op("read"))

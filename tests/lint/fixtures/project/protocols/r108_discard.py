@@ -1,0 +1,25 @@
+"""VIOLATION (R108): calling a program coroutine and dropping it.
+
+``acquire(pid)`` on a statement line builds a generator and throws it
+away — no ``Invoke`` ever reaches the runtime, so the lock acquisition
+the author expected silently never happens. Each function is
+unremarkable on its own; only the call graph knows ``acquire`` is a
+coroutine whose body never ran.
+"""
+
+from repro.runtime.events import Invoke
+from repro.types import op
+
+
+def acquire(pid):
+    yield Invoke("LOCK", op("acquire", pid))
+
+
+def helper_entry(pid):
+    # Discarded from a plain function: same silent no-op.
+    acquire(pid)
+
+
+def program(pid, value, memory):
+    acquire(pid)
+    yield Invoke("REG", op("write", value))

@@ -1,0 +1,23 @@
+"""Helpers in a workload role — outside R001's per-file scope.
+
+``current_stamp`` reads the wall clock, but R001 never looks at
+``workloads/`` modules, so the per-file pass sees nothing wrong in
+this file *or* in the replay-critical caller that consumes the value.
+Only the R101 taint fixpoint connects the two.
+"""
+
+import time
+
+
+def current_stamp():
+    return time.time()
+
+
+def relabel(stamp):
+    # Taint laundering through a second hop: the nondeterminism is two
+    # calls away from the replay-critical consumer.
+    return f"run-{current_stamp()}-{stamp}"
+
+
+def pure_span(start, end):
+    return end - start

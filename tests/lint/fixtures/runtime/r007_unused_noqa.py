@@ -1,0 +1,16 @@
+"""Fixture: R007 flags suppressions that silence nothing.
+
+The first suppression sanctions a real R001 clock read and stays
+legitimate; the second decorates a line no rule complains about and
+must be reported as unused.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: noqa[R001] fixture: a *used* suppression
+
+
+def width(start, end):
+    return end - start  # repro: noqa[R001] nothing here trips R001

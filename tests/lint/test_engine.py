@@ -53,13 +53,15 @@ class TestSuppressions:
             tmp_path, PROGRAM_WITH_GLOBAL.format(noqa="  # repro: noqa[R001]")
         )
         report = lint_paths([path])
-        assert [f.rule_id for f in report.findings] == ["R002"]
+        # The R002 stays active, and the pointless [R001] suppression
+        # is itself reported by R007.
+        assert [f.rule_id for f in report.findings] == ["R002", "R007"]
 
     def test_noqa_on_other_line_does_not_apply(self, tmp_path):
         body = "# repro: noqa\n" + PROGRAM_WITH_GLOBAL.format(noqa="")
         path = write_module(tmp_path, body)
         report = lint_paths([path])
-        assert [f.rule_id for f in report.findings] == ["R002"]
+        assert [f.rule_id for f in report.findings] == ["R007", "R002"]
 
 
 class TestEngine:
@@ -87,7 +89,19 @@ class TestEngine:
 
     def test_all_rules_registered_in_order(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+        assert ids == [
+            "R001",
+            "R002",
+            "R003",
+            "R004",
+            "R005",
+            "R006",
+            "R007",
+            "R101",
+            "R102",
+            "R104",
+            "R108",
+        ]
 
 
 class TestCli:

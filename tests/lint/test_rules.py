@@ -31,6 +31,7 @@ class TestRuleFixtures:
             ("objects/r004_spec_purity.py", "R004", {15, 19, 20, 21}),
             ("runtime/r005_adversary_state.py", "R005", {12, 17, 20}),
             ("runtime/r006_silent_fallback.py", "R006", {9, 12}),
+            ("runtime/r007_unused_noqa.py", "R007", {16}),
         ],
     )
     def test_fixture_is_flagged(self, relative, rule_id, expected_lines):
@@ -38,8 +39,39 @@ class TestRuleFixtures:
         assert flagged, f"{relative} produced no {rule_id} findings"
         assert {f.line for f in flagged} == expected_lines
 
+    # The R10x fixtures are *pairs of files* — the violation spans the
+    # call graph, so they are linted as the project/ tree (a lone file
+    # has no callee index to resolve against).
+    @pytest.mark.parametrize(
+        "relative, rule_id, expected_lines",
+        [
+            ("project/analysis/r101_taint.py", "R101", {13, 18}),
+            ("project/protocols/r102_laundered.py", "R102", {26, 28}),
+            ("project/objects/r104_spec.py", "R104", {19, 23}),
+            ("project/protocols/r108_discard.py", "R108", {20, 24}),
+            ("project/protocols/r108_dead_yield.py", "R108", {15}),
+        ],
+    )
+    def test_project_fixture_is_flagged(self, relative, rule_id, expected_lines):
+        report = lint_paths([FIXTURES / "project"])
+        flagged = [
+            f
+            for f in report.findings
+            if f.rule_id == rule_id and f.path.endswith(relative)
+        ]
+        assert flagged, f"{relative} produced no {rule_id} findings"
+        assert {f.line for f in flagged} == expected_lines
+
     def test_clean_fixture_passes(self):
         assert findings_for("protocols/clean.py") == []
+
+    def test_project_clean_twins_pass(self):
+        report = lint_paths([FIXTURES / "project"])
+        clean = ("r101_clean", "r102_clean", "r104_clean", "r108_clean")
+        dirty_paths = {f.path for f in report.findings}
+        assert not any(
+            any(stem in path for stem in clean) for path in dirty_paths
+        )
 
     def test_fixture_tree_fails_overall(self):
         report = lint_paths([FIXTURES])
@@ -49,7 +81,19 @@ class TestRuleFixtures:
     def test_every_rule_has_a_fixture_catch(self):
         report = lint_paths([FIXTURES])
         seen = {f.rule_id for f in report.findings}
-        assert {"R001", "R002", "R003", "R004", "R005", "R006"} <= seen
+        assert {
+            "R001",
+            "R002",
+            "R003",
+            "R004",
+            "R005",
+            "R006",
+            "R007",
+            "R101",
+            "R102",
+            "R104",
+            "R108",
+        } <= seen
 
 
 class TestRuleScoping:
@@ -78,3 +122,8 @@ class TestRuleScoping:
         assert by_rule["R004"] == "error"
         assert by_rule["R005"] == "warning"
         assert by_rule["R006"] == "error"
+        assert by_rule["R007"] == "warning"
+        assert by_rule["R101"] == "error"
+        assert by_rule["R102"] == "error"
+        assert by_rule["R104"] == "error"
+        assert by_rule["R108"] == "error"

@@ -67,7 +67,9 @@ class TestBehaviour:
             api.verify(2)
 
 
-class TestFuzzDeprecationShim:
+class TestFuzzEngineNamesRemoved:
+    """The PR-5 deprecation window closed: the shim is gone for good."""
+
     @pytest.mark.parametrize(
         "name",
         [
@@ -79,16 +81,14 @@ class TestFuzzDeprecationShim:
             "shard_seed",
         ],
     )
-    def test_engine_names_warn_from_the_package(self, name):
+    def test_engine_names_no_longer_resolve_from_the_package(self, name):
         import repro.fuzz
 
-        with pytest.warns(DeprecationWarning, match=name):
-            resolved = getattr(repro.fuzz, name)
-        from repro.fuzz import engine
+        assert name not in repro.fuzz.__all__
+        with pytest.raises(AttributeError):
+            getattr(repro.fuzz, name)
 
-        assert resolved is getattr(engine, name)
-
-    def test_engine_module_imports_do_not_warn(self):
+    def test_engine_module_is_the_supported_home(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             from repro.fuzz.engine import (  # noqa: F401
@@ -100,9 +100,3 @@ class TestFuzzDeprecationShim:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             from repro.fuzz import FuzzExecutor, FuzzTarget  # noqa: F401
-
-    def test_unknown_attribute_still_raises(self):
-        import repro.fuzz
-
-        with pytest.raises(AttributeError):
-            repro.fuzz.definitely_not_a_name
