@@ -1,9 +1,15 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-perf experiments examples lint fuzz trace-smoke verify clean
+.PHONY: install kernel-ext test bench bench-perf experiments examples lint fuzz trace-smoke verify clean
 
 install:
 	pip install -e . --no-build-isolation
+
+# Build the optional accelerated kernel extension in place (best
+# effort: exits non-zero without a C toolchain but never breaks the
+# pure-Python default backend).
+kernel-ext:
+	python -m repro.analysis.kernel._build
 
 test:
 	pytest tests/
@@ -17,6 +23,7 @@ bench-perf:
 	pytest benchmarks/bench_perf_core.py benchmarks/bench_perf_substrates.py \
 		benchmarks/bench_perf_parallel.py benchmarks/bench_perf_fuzz.py \
 		benchmarks/bench_perf_obs.py benchmarks/bench_perf_lint.py \
+		benchmarks/bench_perf_kernel.py \
 		--benchmark-disable -q
 	@echo "--- BENCH_perf.json ---"
 	@cat BENCH_perf.json

@@ -65,8 +65,34 @@ def timed(fn: Callable[[], object], repeats: int = 5) -> Timing:
     )
 
 
+def _validate_entry(name: str, entry: dict) -> None:
+    """Enforce the uniform entry contract before anything is written.
+
+    Every entry records ``repeats`` (how many samples back its
+    statistics) and pairs each median ``*wall_seconds`` field with a
+    ``*best_wall_seconds`` counterpart, so the PR-5 "median is
+    canonical, best rides along" convention holds file-wide instead of
+    per-bench by discipline.
+    """
+    if "repeats" not in entry:
+        raise ValueError(f"bench entry {name!r} must record 'repeats'")
+    for key in entry:
+        if key.endswith("wall_seconds") and "best" not in key:
+            best_key = (
+                key.replace("wall_seconds", "best_wall_seconds")
+                if key != "wall_seconds"
+                else "best_wall_seconds"
+            )
+            if best_key not in entry:
+                raise ValueError(
+                    f"bench entry {name!r} records {key!r} without its "
+                    f"{best_key!r} counterpart"
+                )
+
+
 def record(name: str, **fields: object) -> None:
     """Merge one bench entry into ``BENCH_perf.json``."""
+    _validate_entry(name, dict(fields))
     data = {}
     if os.path.exists(_JSON_PATH):
         try:

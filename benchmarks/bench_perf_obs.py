@@ -65,6 +65,8 @@ class TestObsOverhead:
             metrics_wall_seconds=metrics.median,
             tracing_wall_seconds=tracing.median,
             baseline_best_wall_seconds=baseline.best,
+            metrics_best_wall_seconds=metrics.best,
+            tracing_best_wall_seconds=tracing.best,
             repeats=baseline.repeats,
             metrics_overhead_ratio=metrics.median / baseline.median,
             tracing_overhead_ratio=tracing.median / baseline.median,

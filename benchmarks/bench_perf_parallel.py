@@ -113,6 +113,7 @@ class TestCacheColdWarm:
             n=n,
             work_items=len(items),
             cold_wall_seconds=cold_timing.median,
+            cold_best_wall_seconds=cold_timing.best,
             warm_wall_seconds=warm_timing.median,
             warm_best_wall_seconds=warm_timing.best,
             repeats=warm_timing.repeats,

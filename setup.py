@@ -1,6 +1,20 @@
 """Setup shim: enables legacy editable installs where the `wheel`
-package (needed for PEP 660 editable wheels) is unavailable."""
+package (needed for PEP 660 editable wheels) is unavailable.
 
-from setuptools import setup
+Also declares the optional accelerated kernel extension. The build is
+best-effort (`optional=True`): when no C toolchain is present the
+install succeeds anyway and the pure-Python kernel backend remains the
+default. `make kernel-ext` rebuilds the extension in place later.
+"""
 
-setup()
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.analysis.kernel._ckernel",
+            sources=["src/repro/analysis/kernel/_ckernel.c"],
+            optional=True,
+        )
+    ]
+)

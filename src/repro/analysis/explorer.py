@@ -27,23 +27,37 @@ Valency computations live in :mod:`repro.analysis.valency`, built on
 Fast core
 ---------
 
-The explorer is the hot path of every exhaustive verdict, so its
-bookkeeping is built on three layers (see ``docs/performance.md``):
+The explorer is the hot path of every exhaustive verdict. Since the
+packed-kernel rework its bookkeeping is built on four layers (see
+``docs/performance.md``):
 
-* **interning** — every configuration is mapped to a dense int id by a
-  per-explorer :class:`~repro.analysis.intern.InternTable`; BFS state
-  (visited set, parent pointers, adjacency) is int-keyed, and each
-  configuration's hash is computed once and cached on the instance;
-* **successor memoization** — the successor relation is cached per
-  interned id (plus per-automaton action/transition caches and
-  per-spec outcome caches), so :meth:`step`, :meth:`find_livelock`,
-  :meth:`solo_termination` and the valency machinery never re-derive
-  edges an earlier traversal already produced;
+* **packed encoding** — every configuration is a fixed-width row of
+  small integer codes (one per process local state, process status, and
+  object state; :mod:`repro.analysis.kernel.encoding`), interned to a
+  dense id by the kernel backend. The PR-2 ``InternTable`` survives as
+  :class:`PackedConfigTable`, the same bijection API backed by rows;
+* **batch frontier expansion** — :meth:`explore` hands the whole BFS to
+  :meth:`KernelBackend.run_bfs`, which returns discovery order, parent
+  edge triples, and truncation state in one call; applying a transition
+  inside the kernel is integer arithmetic on three fields, and
+  ``Configuration`` dataclasses are materialized lazily only at the API
+  boundary (witness traces, result views, cache portability);
+* **successor memoization** — protocol semantics (invoke resolution,
+  outcome enumeration) are computed once per ``(pid, local state,
+  object state)`` and replayed from flat delta tables; object-level
+  views (:meth:`successors`, :meth:`step`) stay memoized per id;
 * **symmetry reduction** (opt-in) — :meth:`explore` accepts a
   :class:`~repro.analysis.symmetry.ProcessSymmetry` and then walks only
   canonical representatives of process-permutation orbits; witness
   schedules are mapped back through the accumulated permutations so
   they replay bit-for-bit on the *unreduced* system.
+
+Two kernel backends implement the same contract — ``python`` (flat
+big-int words) and ``compiled`` (a best-effort C extension) — selected
+via ``Explorer(kernel=...)``, the ``REPRO_KERNEL`` environment
+variable, or ``--kernel`` on the CLI. Both allocate ids in discovery
+order and derive edges through the same callbacks, so orders, verdicts,
+digests and cache keys are byte-identical across backends.
 
 In unreduced mode all results are bit-identical to the naive
 calculus: ``ExplorationResult.order`` is BFS discovery order, and
@@ -53,12 +67,12 @@ hash-seeded set (lint rule R001).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
+    Callable,
     Dict,
     FrozenSet,
     Hashable,
-    Iterable,
     List,
     Mapping,
     Optional,
@@ -75,7 +89,8 @@ from ..runtime.events import Abort, Decide, Halt, Invoke
 from ..runtime.process import ProcessAutomaton
 from ..types import ProcessId, Value
 from ..protocols.tasks import DecisionTask, SafetyVerdict
-from .intern import InternTable
+from .kernel import PackedEncoder, make_backend
+from .kernel.encoding import FIELD_BITS  # noqa: F401  (re-exported for docs)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .symmetry import ProcessSymmetry
@@ -165,7 +180,81 @@ class Edge:
     response: Value
 
 
-@dataclass
+class PackedConfigTable:
+    """The ``InternTable`` bijection, backed by packed kernel rows.
+
+    Keeps the exact PR-2 API (``intern``/``canonical``/``id_of``/
+    ``get_id``/``value``/``in``/``len``) so every analysis keyed on
+    intern ids works unchanged, but ids are allocated by the kernel
+    backend over structural integer rows. ``Configuration`` objects are
+    materialized lazily: :meth:`value` decodes a row on first request
+    and caches the instance, and configurations interned *as objects*
+    keep their identity (``canonical`` returns the first-seen object,
+    which is what lets status singletons survive round trips).
+    """
+
+    __slots__ = ("_encoder", "_backend", "_values")
+
+    def __init__(self, encoder: PackedEncoder, backend) -> None:
+        self._encoder = encoder
+        self._backend = backend
+        #: cid -> first-seen/decoded Configuration (None until needed).
+        self._values: List[Optional[Configuration]] = []
+
+    def intern(self, config: Configuration) -> int:
+        """Return the id for ``config``, allocating one if it is new."""
+        row = self._encoder.encode(
+            config.process_states, config.statuses, config.object_states
+        )
+        cid = self._backend.intern_row(row)
+        values = self._values
+        if cid >= len(values):
+            values.extend([None] * (cid + 1 - len(values)))
+        if values[cid] is None:
+            values[cid] = config
+        return cid
+
+    def canonical(self, config: Configuration) -> Configuration:
+        """The first-seen object equal to ``config`` (identity intern)."""
+        return self._values[self.intern(config)]  # type: ignore[return-value]
+
+    def id_of(self, config: Configuration) -> int:
+        """The id of an already-interned value (KeyError if unseen)."""
+        ident = self.get_id(config)
+        if ident is None:
+            raise KeyError(config)
+        return ident
+
+    def get_id(self, config: Configuration) -> Optional[int]:
+        """The id of ``config`` or None — never allocates."""
+        row = self._encoder.peek(
+            config.process_states, config.statuses, config.object_states
+        )
+        if row is None:
+            return None
+        return self._backend.find_row(row)
+
+    def value(self, ident: int) -> Configuration:
+        """The configuration with id ``ident`` (decoded lazily, once)."""
+        values = self._values
+        if ident >= len(values):
+            values.extend([None] * (ident + 1 - len(values)))
+        config = values[ident]
+        if config is None:
+            states, statuses, objects = self._encoder.decode(
+                self._backend.row(ident)
+            )
+            config = Configuration(states, statuses, objects)
+            values[ident] = config
+        return config
+
+    def __contains__(self, config: Configuration) -> bool:
+        return self.get_id(config) is not None
+
+    def __len__(self) -> int:
+        return len(self._backend)
+
+
 class ExplorationResult:
     """The reachable (bounded) configuration graph.
 
@@ -183,7 +272,10 @@ class ExplorationResult:
 
     Int-keyed views (``order_ids``, ``successor_ids``, ``parent_ids``
     over ``intern`` ids) mirror the object-keyed fields for analyses
-    that prefer dense bookkeeping (the valency fixpoint does).
+    that prefer dense bookkeeping (the valency fixpoint does). For a
+    kernel-built graph, ``successor_ids`` is materialized lazily from
+    the backend's flat adjacency — the BFS itself never builds
+    per-configuration edge tuples.
 
     When the graph was built under symmetry reduction (``reduced``),
     configurations are canonical orbit representatives:
@@ -195,31 +287,116 @@ class ExplorationResult:
     replays on the *unreduced* system.
     """
 
-    initial: Configuration
-    complete: bool = True
-    intern: Optional[InternTable] = None
-    order_ids: List[int] = field(default_factory=list)
-    successor_ids: Dict[int, Tuple[Tuple[Edge, int], ...]] = field(
-        default_factory=dict
+    __slots__ = (
+        "initial",
+        "complete",
+        "intern",
+        "order_ids",
+        "parent_ids",
+        "reduced",
+        "source_initial",
+        "initial_permutation",
+        "parent_perms",
+        "expansions",
+        "_successor_ids",
+        "_edge_resolver",
+        "_adjacency",
+        "_order",
+        "_configurations",
+        "_successors",
+        "_parents",
     )
-    parent_ids: Dict[int, Tuple[int, Edge]] = field(default_factory=dict)
-    reduced: bool = False
-    source_initial: Optional[Configuration] = None
-    initial_permutation: Optional[Permutation] = None
-    parent_perms: Dict[int, Permutation] = field(default_factory=dict)
-    # Lazily materialized object-keyed views (see the properties below):
-    # the hot path never touches them, so their cost is paid only by the
-    # analyses that actually want Configuration-keyed dictionaries.
-    _order: Optional[List[Configuration]] = field(default=None, repr=False)
-    _configurations: Optional[Set[Configuration]] = field(
-        default=None, repr=False
-    )
-    _successors: Optional[
-        Dict[Configuration, List[Tuple[Edge, Configuration]]]
-    ] = field(default=None, repr=False)
-    _parents: Optional[Dict[Configuration, Tuple[Configuration, Edge]]] = (
-        field(default=None, repr=False)
-    )
+
+    def __init__(
+        self,
+        initial: Configuration,
+        complete: bool = True,
+        intern: Optional[PackedConfigTable] = None,
+        order_ids: Optional[List[int]] = None,
+        successor_ids: Optional[Dict[int, Tuple[Tuple[Edge, int], ...]]] = None,
+        parent_ids: Optional[Dict[int, Tuple[int, Edge]]] = None,
+        reduced: bool = False,
+        source_initial: Optional[Configuration] = None,
+        initial_permutation: Optional[Permutation] = None,
+        parent_perms: Optional[Dict[int, Permutation]] = None,
+        expansions: int = 0,
+        edge_resolver: Optional[Callable[[int], Edge]] = None,
+        adjacency: Optional[Callable[[int], Sequence[int]]] = None,
+    ) -> None:
+        self.initial = initial
+        self.complete = complete
+        self.intern = intern
+        self.order_ids: List[int] = order_ids if order_ids is not None else []
+        self.parent_ids: Dict[int, Tuple[int, Edge]] = (
+            parent_ids if parent_ids is not None else {}
+        )
+        self.reduced = reduced
+        self.source_initial = source_initial
+        self.initial_permutation = initial_permutation
+        self.parent_perms: Dict[int, Permutation] = (
+            parent_perms if parent_perms is not None else {}
+        )
+        #: How many leading entries of ``order_ids`` were expanded (all
+        #: of them for a complete graph; the truncation point otherwise).
+        self.expansions = expansions
+        # Either an explicit relation (reduced/adopted graphs) or the
+        # ingredients to materialize one lazily (kernel graphs).
+        self._successor_ids = successor_ids
+        self._edge_resolver = edge_resolver
+        self._adjacency = adjacency
+        # Lazily materialized object-keyed views (see the properties
+        # below): the hot path never touches them, so their cost is paid
+        # only by analyses that want Configuration-keyed dictionaries.
+        self._order: Optional[List[Configuration]] = None
+        self._configurations: Optional[Set[Configuration]] = None
+        self._successors: Optional[
+            Dict[Configuration, List[Tuple[Edge, Configuration]]]
+        ] = None
+        self._parents: Optional[
+            Dict[Configuration, Tuple[Configuration, Edge]]
+        ] = None
+
+    @property
+    def successor_ids(self) -> Dict[int, Tuple[Tuple[Edge, int], ...]]:
+        """id -> ((edge, successor id), ...) for every expanded id.
+
+        Kernel-built graphs materialize this view on first access from
+        the backend's flat adjacency, in expansion (= discovery) order —
+        the portable rendering and every digest depend on that order.
+        """
+        if self._successor_ids is None:
+            assert self._edge_resolver is not None
+            assert self._adjacency is not None
+            resolve = self._edge_resolver
+            expand = self._adjacency
+            table: Dict[int, Tuple[Tuple[Edge, int], ...]] = {}
+            for cid in self.order_ids[: self.expansions]:
+                flat = expand(cid)
+                table[cid] = tuple(
+                    (resolve(flat[k]), flat[k + 1])
+                    for k in range(0, len(flat), 2)
+                )
+            self._successor_ids = table
+        return self._successor_ids
+
+    def successor_tid_rows(self) -> Dict[int, Tuple[int, ...]]:
+        """id -> successor ids only — no Edge materialization.
+
+        The decision fixpoint wants bare target ids; going through
+        ``successor_ids`` would build every Edge tuple just to discard
+        the edges again.
+        """
+        if self._successor_ids is not None:
+            return {
+                cid: tuple(tid for _edge, tid in entries)
+                for cid, entries in self._successor_ids.items()
+            }
+        assert self._adjacency is not None
+        expand = self._adjacency
+        return {
+            cid: tuple(expand(cid)[1::2])
+            for cid in self.order_ids[: self.expansions]
+        }
 
     @property
     def order(self) -> List[Configuration]:
@@ -455,6 +632,13 @@ class Explorer:
     ``objects`` maps names to specs; ``processes`` must be pure automata
     (``supports_snapshot``), which is what makes configurations values.
 
+    ``kernel`` picks the exploration backend: ``"python"`` (the
+    default), ``"compiled"`` (the C extension; an error if not built),
+    or ``"auto"`` (compiled when available). ``None`` defers to the
+    ``REPRO_KERNEL`` environment variable. Backends are byte-identical
+    — same orders, ids, verdicts, digests — so the choice is purely a
+    throughput knob.
+
     All caches (intern table, successor memo, decision-set table) are
     per-instance: one :class:`Explorer` = one protocol instance whose
     transition relation is immutable, so the caches can never go stale.
@@ -464,6 +648,7 @@ class Explorer:
         self,
         objects: Mapping[str, SequentialSpec],
         processes: Sequence[ProcessAutomaton],
+        kernel: Optional[str] = None,
     ) -> None:
         for automaton in processes:
             if not automaton.supports_snapshot:
@@ -482,10 +667,28 @@ class Explorer:
         )
         self._index_of = {name: i for i, name in enumerate(self.object_names)}
         self.processes: Tuple[ProcessAutomaton, ...] = tuple(processes)
+        # -- packed kernel --------------------------------------------
+        #: Structural slot codes; statuses seeded so RUNNING is code 0
+        #: (the kernel's "enabled" test is a zero-test on that field).
+        self._encoder = PackedEncoder(
+            len(self.processes),
+            len(self.specs),
+            seed_statuses=(RUNNING, HALTED, ABORTED),
+        )
+        self._backend, self.kernel = make_backend(
+            kernel,
+            self._encoder.n_fields,
+            len(self.processes),
+            self._resolve_invoke_codes,
+            self._compute_delta_codes,
+        )
         # -- fast-core caches ----------------------------------------
         #: Configuration <-> dense id bijection (discovery order).
-        self._intern: InternTable[Configuration] = InternTable()
-        #: id -> tuple[(Edge, successor id)] — the memoized relation.
+        self._intern: PackedConfigTable = PackedConfigTable(
+            self._encoder, self._backend
+        )
+        #: id -> tuple[(Edge, successor id)] — the memoized object-level
+        #: relation (populated on demand; the kernel BFS bypasses it).
         self._succ_cache: Dict[int, Tuple[Tuple[Edge, int], ...]] = {}
         #: (id, pid) -> the pid's outgoing edges only (targeted step()).
         self._pid_cache: Dict[Tuple[int, ProcessId], Tuple[Tuple[Edge, int], ...]] = {}
@@ -497,18 +700,15 @@ class Explorer:
         self._status_cache: Tuple[Dict[Hashable, Tuple], ...] = tuple(
             {} for _ in self.processes
         )
-        #: (process_states, statuses, object_states) -> intern id. The
-        #: hot-path dedupe: most generated successors already exist, and
-        #: this catches them on the raw field tuples before paying for a
-        #: Configuration construction.
-        self._triple_ids: Dict[Tuple, int] = {}
         #: (pid, choice, response) -> the one Edge object for it.
         self._edges: Dict[Tuple[ProcessId, int, Value], Edge] = {}
-        #: (pid, local state) -> object index the pid is poised to invoke.
-        self._invoke_cache: Dict[Tuple[ProcessId, Hashable], int] = {}
-        #: (pid, local state, object state) -> the pid's full step delta:
-        #: tuple of (Edge, new local state, new status, new object state).
-        self._delta_cache: Dict[Tuple, Tuple[Tuple, ...]] = {}
+        #: (pid, choice, response) -> dense edge id; edge id -> Edge.
+        #: Edge ids are what the kernel's flat adjacency carries.
+        self._edge_ids: Dict[Tuple[ProcessId, int, Value], int] = {}
+        self._edge_list: List[Edge] = []
+        #: status-code row -> (decisions, aborted, enabled) — everything
+        #: a safety predicate can see, decoded once per distinct row.
+        self._segment_cache: Dict[Tuple[int, ...], Tuple] = {}
         #: id -> reachable decision set (shared valency memo).
         self._decision_sets: Dict[int, FrozenSet[Value]] = {}
 
@@ -584,50 +784,45 @@ class Explorer:
             cache[key] = outcomes
             return outcomes
 
-    def _expand_pid(
-        self, cid: int, config: Configuration, pid: ProcessId
-    ) -> List[Tuple[Edge, int]]:
-        """All edges in which ``pid`` moves from ``config`` (must be
-        enabled), as (edge, successor id) pairs."""
-        local_state = config.process_states[pid]
-        invoke_key = (pid, local_state)
-        obj_index = self._invoke_cache.get(invoke_key)
-        if obj_index is None:
-            obj_index = self._resolve_invoke(pid, local_state)
-        obj_state = config.object_states[obj_index]
-        delta_key = (pid, local_state, obj_state)
-        deltas = self._delta_cache.get(delta_key)
-        if deltas is None:
-            deltas = self._compute_deltas(pid, local_state, obj_index, obj_state)
-            self._delta_cache[delta_key] = deltas
-        process_states = config.process_states
-        statuses = config.statuses
-        object_states = config.object_states
-        triple_ids = self._triple_ids
-        entries: List[Tuple[Edge, int]] = []
-        for edge, local, status, new_obj in deltas:
-            states = (
-                process_states[:pid] + (local,) + process_states[pid + 1 :]
+    # -- kernel callbacks ------------------------------------------------------
+    # The backend memoizes both callbacks in flat integer tables and
+    # invokes them only on the first miss per key, in deterministic
+    # (pid-ascending, outcome-order) sequence — which is what makes edge
+    # and configuration ids identical across backends.
+
+    def _resolve_invoke_codes(self, pid: ProcessId, local_code: int) -> int:
+        """Kernel miss hook: the object index ``pid`` invokes from the
+        local state carrying ``local_code``."""
+        return self._resolve_invoke(
+            pid, self._encoder.local_value(pid, local_code)
+        )
+
+    def _compute_delta_codes(
+        self, pid: ProcessId, local_code: int, obj_index: int, obj_code: int
+    ) -> Tuple[Tuple[int, int, int, int], ...]:
+        """Kernel miss hook: one ``(edge id, new local code, new status
+        code, new object code)`` row per adversary choice for ``pid``
+        stepping against the object state carrying ``obj_code``."""
+        encoder = self._encoder
+        local_state = encoder.local_value(pid, local_code)
+        obj_state = encoder.object_value(obj_index, obj_code)
+        automaton = self.processes[pid]
+        action = automaton.cached_next_action(local_state)
+        assert isinstance(action, Invoke)
+        outcomes = self._outcomes(obj_index, obj_state, action.operation)
+        deltas = []
+        for choice, (new_obj, response) in enumerate(outcomes):
+            local = automaton.cached_transition(local_state, response)
+            status = self._absorbed_status(pid, local)
+            deltas.append(
+                (
+                    self._edge_id(pid, choice, response),
+                    encoder.local_code(pid, local),
+                    encoder.status_code(status),
+                    encoder.object_code(obj_index, new_obj),
+                )
             )
-            new_statuses = (
-                statuses
-                if status is RUNNING
-                else statuses[:pid] + (status,) + statuses[pid + 1 :]
-            )
-            objects = (
-                object_states[:obj_index]
-                + (new_obj,)
-                + object_states[obj_index + 1 :]
-            )
-            # Dedupe on the raw field triple: most successors were seen
-            # before, and the miss path below is the only place a new
-            # Configuration object is ever built.
-            triple = (states, new_statuses, objects)
-            tid = triple_ids.get(triple)
-            if tid is None:
-                tid = self._intern_triple(triple)
-            entries.append((edge, tid))
-        return entries
+        return tuple(deltas)
 
     def _resolve_invoke(self, pid: ProcessId, local_state: Hashable) -> int:
         """The object index ``pid`` is poised to invoke in ``local_state``
@@ -642,36 +837,7 @@ class Explorer:
             raise AnalysisError(
                 f"process {pid} invoked unknown object {action.obj!r}"
             )
-        self._invoke_cache[(pid, local_state)] = obj_index
         return obj_index
-
-    def _compute_deltas(
-        self,
-        pid: ProcessId,
-        local_state: Hashable,
-        obj_index: int,
-        obj_state: Hashable,
-    ) -> Tuple[Tuple, ...]:
-        """One (Edge, new local, new status, new object state) entry per
-        adversary choice for ``pid`` stepping in ``local_state`` against
-        ``obj_state``. Everything downstream of the configuration's
-        identity is memoized here in one lookup."""
-        automaton = self.processes[pid]
-        action = automaton.cached_next_action(local_state)
-        assert isinstance(action, Invoke)
-        outcomes = self._outcomes(obj_index, obj_state, action.operation)
-        edges = self._edges
-        deltas = []
-        for choice, (new_obj, response) in enumerate(outcomes):
-            local = automaton.cached_transition(local_state, response)
-            status = self._absorbed_status(pid, local)
-            edge_key = (pid, choice, response)
-            edge = edges.get(edge_key)
-            if edge is None:
-                edge = Edge(pid, choice, response)
-                edges[edge_key] = edge
-            deltas.append((edge, local, status, new_obj))
-        return tuple(deltas)
 
     def _edge(self, pid: ProcessId, choice: int, response: Value) -> Edge:
         """The one memoized Edge object for (pid, choice, response)."""
@@ -682,24 +848,30 @@ class Explorer:
             self._edges[key] = edge
         return edge
 
-    def _intern_triple(self, triple: Tuple) -> int:
-        """Intern the configuration with field tuple ``triple``."""
-        successor = Configuration(*triple)
-        object.__setattr__(successor, "_hash", hash(triple))
-        tid = self._intern.intern(successor)
-        self._triple_ids[triple] = tid
-        return tid
+    def _edge_id(self, pid: ProcessId, choice: int, response: Value) -> int:
+        """The dense id of (pid, choice, response), allocating if new."""
+        key = (pid, choice, response)
+        eid = self._edge_ids.get(key)
+        if eid is None:
+            eid = len(self._edge_list)
+            self._edge_ids[key] = eid
+            self._edge_list.append(self._edge(pid, choice, response))
+        return eid
+
+    def _entries_from_flat(
+        self, flat: Sequence[int]
+    ) -> Tuple[Tuple[Edge, int], ...]:
+        """Materialize a flat [eid, tid, ...] run as (Edge, id) pairs."""
+        edge_list = self._edge_list
+        return tuple(
+            (edge_list[flat[k]], flat[k + 1]) for k in range(0, len(flat), 2)
+        )
 
     def _successor_entries(self, cid: int) -> Tuple[Tuple[Edge, int], ...]:
         """The memoized successor relation of configuration id ``cid``."""
         entries = self._succ_cache.get(cid)
         if entries is None:
-            config = self._intern.value(cid)
-            collected: List[Tuple[Edge, int]] = []
-            for pid, status in enumerate(config.statuses):
-                if status is RUNNING:
-                    collected.extend(self._expand_pid(cid, config, pid))
-            entries = tuple(collected)
+            entries = self._entries_from_flat(self._backend.expand(cid))
             self._succ_cache[cid] = entries
         return entries
 
@@ -707,18 +879,28 @@ class Explorer:
         self, cid: int, pid: ProcessId
     ) -> Tuple[Tuple[Edge, int], ...]:
         """Only ``pid``'s outgoing edges — computed without enumerating
-        the other processes' moves (reuses the full memo when present)."""
+        the other processes' moves (reuses the full relation when the
+        object memo or the kernel already expanded this id)."""
         full = self._succ_cache.get(cid)
         if full is not None:
             return tuple(entry for entry in full if entry[0].pid == pid)
         key = (cid, pid)
         entries = self._pid_cache.get(key)
         if entries is None:
-            config = self._intern.value(cid)
-            if config.statuses[pid] is not RUNNING:
+            flat = self._backend.adjacency(cid)
+            if flat is not None:
+                edge_list = self._edge_list
+                entries = tuple(
+                    (edge_list[flat[k]], flat[k + 1])
+                    for k in range(0, len(flat), 2)
+                    if edge_list[flat[k]].pid == pid
+                )
+            elif self._backend.status_key(cid)[pid] != 0:
                 entries = ()
             else:
-                entries = tuple(self._expand_pid(cid, config, pid))
+                entries = self._entries_from_flat(
+                    self._backend.expand_pid(cid, pid)
+                )
             self._pid_cache[key] = entries
         return entries
 
@@ -765,15 +947,83 @@ class Explorer:
         quotient graph of canonical representatives instead — see
         :mod:`repro.analysis.symmetry` for the soundness conditions —
         and records the permutations needed to map witnesses back.
+
+        The unreduced walk is one batch call into the kernel backend:
+        the whole frontier is expanded over packed ids and no
+        ``Configuration`` object is built until a result view asks for
+        one.
         """
         start = initial if initial is not None else self.initial_configuration()
         start = self._intern.canonical(start)
-        initial_perm: Optional[Permutation] = None
         if symmetry is not None:
-            rep, initial_perm = self._canonicalize(start, symmetry)
-            bfs_start = rep
-        else:
-            bfs_start = start
+            return self._explore_reduced(
+                start, max_configurations, strict, symmetry
+            )
+
+        intern = self._intern
+        start_id = intern.id_of(start)
+
+        # Observability: counts accumulate in the kernel and publish
+        # once at the end; per-level trace events are delivered through
+        # the round hook only when a trace session is active.
+        intern_before = len(intern)
+        on_round = None
+        if obs.tracing():
+
+            def on_round(depth: int, width: int, seen: int) -> None:
+                obs.event(
+                    "explorer.frontier", depth=depth, width=width, seen=seen
+                )
+
+        order_ids, parent_triples, complete, expansions, rounds = (
+            self._backend.run_bfs(start_id, max_configurations, on_round)
+        )
+        if strict and not complete:
+            raise ExplorationBudgetExceeded(
+                f"exceeded {max_configurations} configurations"
+            )
+
+        edge_list = self._edge_list
+        parent_ids: Dict[int, Tuple[int, Edge]] = {}
+        for k in range(0, len(parent_triples), 3):
+            parent_ids[parent_triples[k]] = (
+                parent_triples[k + 1],
+                edge_list[parent_triples[k + 2]],
+            )
+
+        if obs.enabled():
+            obs.counter("explorer.explorations")
+            obs.counter("explorer.configurations", len(order_ids))
+            obs.counter("explorer.expansions", expansions)
+            obs.counter("explorer.interned", len(intern) - intern_before)
+            obs.histogram("explorer.depth", rounds)
+            if not complete:
+                obs.counter("explorer.truncations")
+
+        return ExplorationResult(
+            initial=start,
+            complete=complete,
+            intern=intern,
+            order_ids=list(order_ids),
+            parent_ids=parent_ids,
+            source_initial=start,
+            expansions=expansions,
+            edge_resolver=edge_list.__getitem__,
+            adjacency=self._backend.expand,
+        )
+
+    def _explore_reduced(
+        self,
+        start: Configuration,
+        max_configurations: int,
+        strict: bool,
+        symmetry: "ProcessSymmetry",
+    ) -> ExplorationResult:
+        """The symmetry-reduced walk (object-level: canonicalization
+        permutes whole configurations, which quotient graphs are small
+        enough to afford)."""
+        rep, initial_perm = self._canonicalize(start, symmetry)
+        bfs_start = rep
 
         intern = self._intern
         start_id = intern.id_of(bfs_start)
@@ -784,9 +1034,6 @@ class Explorer:
         successor_ids: Dict[int, Tuple[Tuple[Edge, int], ...]] = {}
         complete = True
 
-        # Observability: counts accumulate in locals and publish once at
-        # the end (the BFS inner loop never touches the session stack);
-        # per-level trace events are gated on one flag computed here.
         trace_on = obs.tracing()
         intern_before = len(intern)
         expansions = 0
@@ -807,27 +1054,24 @@ class Explorer:
                 for cid in frontier:
                     expansions += 1
                     entries = self._successor_entries(cid)
-                    perms: Tuple[Permutation, ...] = ()
-                    if symmetry is not None:
-                        # The quotient graph's edges must target the
-                        # canonical representatives, so every id in
-                        # successor_ids stays inside order_ids and
-                        # graph-level passes (decision fixpoint,
-                        # livelock DFS) work unchanged on reduced
-                        # results.
-                        mapped: List[Tuple[Edge, int]] = []
-                        perm_list: List[Permutation] = []
-                        for edge, tid in entries:
-                            rep, perm = self._canonicalize(
-                                intern.value(tid), symmetry
-                            )
-                            rep_id = intern.id_of(rep)
-                            if rep_id != tid:
-                                symmetry_hits += 1
-                            mapped.append((edge, rep_id))
-                            perm_list.append(perm)
-                        entries = tuple(mapped)
-                        perms = tuple(perm_list)
+                    # The quotient graph's edges must target the
+                    # canonical representatives, so every id in
+                    # successor_ids stays inside order_ids and
+                    # graph-level passes (decision fixpoint, livelock
+                    # DFS) work unchanged on reduced results.
+                    mapped: List[Tuple[Edge, int]] = []
+                    perm_list: List[Permutation] = []
+                    for edge, tid in entries:
+                        crep, perm = self._canonicalize(
+                            intern.value(tid), symmetry
+                        )
+                        rep_id = intern.id_of(crep)
+                        if rep_id != tid:
+                            symmetry_hits += 1
+                        mapped.append((edge, rep_id))
+                        perm_list.append(perm)
+                    entries = tuple(mapped)
+                    perms = tuple(perm_list)
                     successor_ids[cid] = entries
                     for index, (edge, tid) in enumerate(entries):
                         if tid in seen:
@@ -843,8 +1087,7 @@ class Explorer:
                         seen.add(tid)
                         order_ids.append(tid)
                         parent_ids[tid] = (cid, edge)
-                        if symmetry is not None:
-                            parent_perms[tid] = perms[index]
+                        parent_perms[tid] = perms[index]
                         next_frontier.append(tid)
                 frontier = next_frontier
                 depth += 1
@@ -857,8 +1100,7 @@ class Explorer:
             obs.counter("explorer.expansions", expansions)
             obs.counter("explorer.interned", len(intern) - intern_before)
             obs.histogram("explorer.depth", depth)
-            if symmetry is not None:
-                obs.counter("explorer.symmetry_hits", symmetry_hits)
+            obs.counter("explorer.symmetry_hits", symmetry_hits)
             if not complete:
                 obs.counter("explorer.truncations")
 
@@ -869,10 +1111,11 @@ class Explorer:
             order_ids=order_ids,
             successor_ids=successor_ids,
             parent_ids=parent_ids,
-            reduced=symmetry is not None,
+            reduced=True,
             source_initial=start,
             initial_permutation=initial_perm,
             parent_perms=parent_perms,
+            expansions=expansions,
         )
 
     def adopt_portable(
@@ -954,6 +1197,7 @@ class Explorer:
                 else None
             ),
             parent_perms=parent_perms,
+            expansions=len(successor_ids),
         )
 
     def _canonicalize(
@@ -963,6 +1207,36 @@ class Explorer:
         permutation mapping ``config`` onto it."""
         rep, perm = symmetry.canonical(config, self.object_names)
         return self._intern.canonical(rep), perm
+
+    # -- status segments -------------------------------------------------------
+
+    def _segment_info(
+        self, key: Tuple[int, ...]
+    ) -> Tuple[Dict[ProcessId, Value], Tuple[ProcessId, ...], Tuple[ProcessId, ...]]:
+        """(decisions, aborted, enabled) of a packed status row.
+
+        Everything a safety predicate or valency seed can observe is a
+        function of the status fields alone, so configurations sharing
+        a status row share this decoding — one dict per distinct row
+        instead of one per configuration.
+        """
+        info = self._segment_cache.get(key)
+        if info is None:
+            status_value = self._encoder.status_value
+            decisions: Dict[ProcessId, Value] = {}
+            aborted: List[ProcessId] = []
+            enabled: List[ProcessId] = []
+            for pid, code in enumerate(key):
+                status = status_value(code)
+                if status is RUNNING:
+                    enabled.append(pid)
+                elif status is ABORTED:
+                    aborted.append(pid)
+                elif status[0] == "decided":
+                    decisions[pid] = status[1]
+            info = (decisions, tuple(aborted), tuple(enabled))
+            self._segment_cache[key] = info
+        return info
 
     # -- analyses ------------------------------------------------------------
 
@@ -987,39 +1261,58 @@ class Explorer:
         concrete and replayable on the unreduced system.
         """
         exploration = self.explore(initial, max_configurations, symmetry=symmetry)
-        # BFS order, not set order: the returned counterexample must be
-        # the same one on every run regardless of PYTHONHASHSEED.
-        for config in exploration.order:
-            verdict = task.check_safety(
-                inputs, config.decisions(), config.aborted()
-            )
-            if not verdict.ok:
-                schedule = tuple(exploration.schedule_to(config))
-                if symmetry is None:
+        if symmetry is not None:
+            # BFS order, not set order: the returned counterexample must
+            # be the same one on every run regardless of PYTHONHASHSEED.
+            for config in exploration.order:
+                verdict = task.check_safety(
+                    inputs, config.decisions(), config.aborted()
+                )
+                if not verdict.ok:
+                    schedule = tuple(exploration.schedule_to(config))
+                    assert exploration.source_initial is not None
+                    cursor = exploration.source_initial
+                    for edge in schedule:
+                        cursor = self.step(cursor, edge.pid, edge.choice)
+                    concrete = task.check_safety(
+                        inputs, cursor.decisions(), cursor.aborted()
+                    )
+                    if concrete.ok:
+                        raise AnalysisError(
+                            "symmetry reduction is unsound for this task: the "
+                            "canonical representative violates safety but its "
+                            "concrete preimage does not — the task predicate "
+                            "is not invariant under the supplied symmetry"
+                        )
+                    return SafetyCounterexample(
+                        configuration=cursor,
+                        verdict=concrete,
+                        schedule=schedule,
+                    )
+        else:
+            # Packed walk: the predicate only sees (decisions, aborted),
+            # a function of the status row — audit each distinct row
+            # once and scan ids in BFS order (R001: same counterexample
+            # on every run). No Configuration is materialized unless a
+            # violation is actually reported.
+            backend = self._backend
+            status_key = backend.status_key
+            verdicts: Dict[Tuple[int, ...], SafetyVerdict] = {}
+            for cid in exploration.order_ids:
+                key = status_key(cid)
+                verdict = verdicts.get(key)
+                if verdict is None:
+                    decisions, aborted, _enabled = self._segment_info(key)
+                    verdict = task.check_safety(inputs, decisions, aborted)
+                    verdicts[key] = verdict
+                if not verdict.ok:
+                    config = self._intern.value(cid)
+                    schedule = tuple(exploration.schedule_to(config))
                     return SafetyCounterexample(
                         configuration=config,
                         verdict=verdict,
                         schedule=schedule,
                     )
-                assert exploration.source_initial is not None
-                cursor = exploration.source_initial
-                for edge in schedule:
-                    cursor = self.step(cursor, edge.pid, edge.choice)
-                concrete = task.check_safety(
-                    inputs, cursor.decisions(), cursor.aborted()
-                )
-                if concrete.ok:
-                    raise AnalysisError(
-                        "symmetry reduction is unsound for this task: the "
-                        "canonical representative violates safety but its "
-                        "concrete preimage does not — the task predicate "
-                        "is not invariant under the supplied symmetry"
-                    )
-                return SafetyCounterexample(
-                    configuration=cursor,
-                    verdict=concrete,
-                    schedule=schedule,
-                )
         if not exploration.complete:
             raise ExplorationBudgetExceeded(
                 "no violation found, but the exploration was truncated; "
@@ -1065,17 +1358,19 @@ class Explorer:
 
     def _run_decision_fixpoint(self, exploration: ExplorationResult) -> None:
         order_ids = exploration.order_ids
-        successor_ids = exploration.successor_ids
+        successor_rows = exploration.successor_tid_rows()
         known = self._decision_sets
+        status_key = self._backend.status_key
         sets: Dict[int, Set[Value]] = {}
         for cid in order_ids:
             fixed = known.get(cid)
             if fixed is not None:
                 sets[cid] = set(fixed)
             else:
-                sets[cid] = set(
-                    self._intern.value(cid).decisions().values()
+                decisions, _aborted, _enabled = self._segment_info(
+                    status_key(cid)
                 )
+                sets[cid] = set(decisions.values())
         # Backward fixpoint: reverse-BFS order settles acyclic parts in
         # one sweep; cycles converge because the sets are monotone.
         changed = True
@@ -1084,7 +1379,7 @@ class Explorer:
             for cid in reversed(order_ids):
                 merged = sets[cid]
                 before = len(merged)
-                for _edge, tid in successor_ids.get(cid, ()):
+                for tid in successor_rows.get(cid, ()):
                     merged |= sets[tid]
                 if len(merged) != before:
                     changed = True
@@ -1114,11 +1409,12 @@ class Explorer:
             raise ExplorationBudgetExceeded(
                 "decision_values needs a complete subgraph; raise the budget"
             )
+        status_key = self._backend.status_key
         values: Set[Value] = set()
-        for reached in exploration.order:
-            for decider, value in reached.decisions().items():
-                if decider == pid:
-                    values.add(value)
+        for cid in exploration.order_ids:
+            decisions, _aborted, _enabled = self._segment_info(status_key(cid))
+            if pid in decisions:
+                values.add(decisions[pid])
         return frozenset(values)
 
     def find_livelock(
@@ -1209,17 +1505,19 @@ class Explorer:
 
         The walk is an iterative worklist (no recursion): deep solo
         chains — hundreds of retry steps in the starvation experiments —
-        must not hit Python's recursion limit.
+        must not hit Python's recursion limit. Successor statuses are
+        read straight off the packed rows; no configuration is
+        materialized anywhere in the walk.
         """
         start = initial if initial is not None else self.initial_configuration()
         start = self._intern.canonical(start)
         if start.statuses[pid] is not RUNNING:
             return True
-        intern = self._intern
+        status_key = self._backend.status_key
         WHITE, GRAY, BLACK = 0, 1, 2
         color: Dict[int, int] = {}
         expanded = 0
-        start_id = intern.id_of(start)
+        start_id = self._intern.id_of(start)
         color[start_id] = GRAY
         # Frame: [config id, edge tuple or None, next edge index].
         stack: List[List] = [[start_id, None, 0]]
@@ -1243,8 +1541,7 @@ class Explorer:
                 continue
             _edge, tid = frame[1][frame[2]]
             frame[2] += 1
-            successor = intern.value(tid)
-            if successor.statuses[pid] is not RUNNING:
+            if status_key(tid)[pid] != 0:
                 continue  # this solo path terminated
             mark = color.get(tid, WHITE)
             if mark == GRAY:

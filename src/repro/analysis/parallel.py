@@ -138,7 +138,9 @@ class VerificationPool:
 
     ``jobs``: worker count; ``None``/``0`` means ``os.cpu_count()``;
     ``<= 1`` executes inline (no subprocesses). ``chunk_size``: items
-    per worker dispatch (default: enough for ~4 chunks per worker).
+    per worker dispatch (default: one coarse chunk per worker — sweep
+    items are millisecond-scale, so dispatch overhead dominates any
+    load-balancing win from finer chunks).
 
     After :meth:`run`, ``last_run_parallel`` records whether worker
     processes were actually used (False for inline execution and for
@@ -163,7 +165,12 @@ class VerificationPool:
     ) -> List[List[Tuple[int, Callable, tuple, dict]]]:
         size = self.chunk_size
         if size is None or size <= 0:
-            size = max(1, (len(tagged) + self.jobs * 4 - 1) // (self.jobs * 4))
+            # One chunk per worker: the per-dispatch pickling/IPC cost
+            # is on the order of a whole sweep item, so amortizing it
+            # over len/jobs items beats the classic 4-chunks-per-worker
+            # balancing split for these workloads (see BENCH_perf.json's
+            # parallel_sweep_algorithm2 history).
+            size = max(1, (len(tagged) + self.jobs - 1) // self.jobs)
         return [tagged[i : i + size] for i in range(0, len(tagged), size)]
 
     def run(self, items: Sequence[WorkItem]) -> List[WorkResult]:

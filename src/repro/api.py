@@ -14,8 +14,12 @@ One function per top-level activity, all keyword-only, all returning a
 
 Parameter conventions are uniform: ``jobs=`` (worker processes,
 ``1`` = inline), ``cache=``/``cache_dir=`` (the content-addressed
-exploration cache), ``seed=`` (campaign seed), ``trace=`` (a path: the
-call records a JSONL trace there, see :mod:`repro.obs`). Every call
+exploration cache), ``seed=`` (campaign seed), ``kernel=`` (exploration
+backend: ``auto``/``python``/``compiled`` — pinned via ``REPRO_KERNEL``
+for the call so pool workers inherit it; results are byte-identical
+across backends, so reports and cache keys never mention the choice),
+``trace=`` (a path: the call records a JSONL trace there, see
+:mod:`repro.obs`). Every call
 opens an observation session — joining the ambient one when the CLI
 (or an outer call) already holds it — and embeds the deterministic
 metrics snapshot in the returned report.
@@ -41,12 +45,15 @@ def verify(
     jobs: int = 1,
     cache: bool = False,
     cache_dir: Optional[str] = None,
+    kernel: Optional[str] = None,
     trace: Optional[str] = None,
 ) -> Report:
     """Model-check Theorem 4.1 at size ``n`` over every input assignment."""
+    from .analysis.kernel import kernel_env
+
     with obs.session(
         trace_path=trace, meta={"command": "check-algorithm2"}
-    ) as sess:
+    ) as sess, kernel_env(kernel):
         report = _verify_body(
             n=n, symmetry=symmetry, jobs=jobs, cache=cache, cache_dir=cache_dir
         )
@@ -214,11 +221,15 @@ def refute(
     *,
     candidate: Optional[str] = None,
     jobs: int = 1,
+    kernel: Optional[str] = None,
     trace: Optional[str] = None,
 ) -> Report:
     """Run the doomed-candidate suite; every witness must match its
     expected failure kind."""
-    with obs.session(trace_path=trace, meta={"command": "refute"}) as sess:
+    from .analysis.kernel import kernel_env
+
+    with obs.session(trace_path=trace, meta={"command": "refute"}) as sess, \
+            kernel_env(kernel):
         report = _refute_body(candidate=candidate, jobs=jobs)
         return report.with_metrics(sess.snapshot())
 
@@ -336,11 +347,15 @@ def fuzz(
     corpus_dir: Optional[str] = None,
     shrink: bool = True,
     max_steps: int = 64,
+    kernel: Optional[str] = None,
     trace: Optional[str] = None,
 ) -> Report:
     """Coverage-guided schedule/response fuzzing with shrinking and
     strict replay; bit-reproducible per ``seed`` across ``jobs``."""
-    with obs.session(trace_path=trace, meta={"command": "fuzz"}) as sess:
+    from .analysis.kernel import kernel_env
+
+    with obs.session(trace_path=trace, meta={"command": "fuzz"}) as sess, \
+            kernel_env(kernel):
         report = _fuzz_body(
             candidate=candidate,
             algorithm2_n=algorithm2_n,
@@ -557,6 +572,7 @@ def explore(
     cache: bool = False,
     cache_dir: Optional[str] = None,
     max_configurations: int = 400_000,
+    kernel: Optional[str] = None,
     trace: Optional[str] = None,
 ) -> Report:
     """Build one Algorithm 2 instance's reachable configuration graph.
@@ -565,7 +581,10 @@ def explore(
     persisted to / rehydrated from the content-addressed exploration
     cache.
     """
-    with obs.session(trace_path=trace, meta={"command": "explore"}) as sess:
+    from .analysis.kernel import kernel_env
+
+    with obs.session(trace_path=trace, meta={"command": "explore"}) as sess, \
+            kernel_env(kernel):
         report = _explore_body(
             n=n,
             inputs=inputs,

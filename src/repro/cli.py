@@ -19,8 +19,15 @@ Commands:
   counterexample shrinking and strict replay verification (see
   :mod:`repro.fuzz` and ``docs/fuzzing.md``). ``--seed``-pinned runs
   are bit-reproducible, including across ``--jobs`` values;
+* ``explore`` — build one Algorithm 2 instance's reachable
+  configuration graph and report its shape;
 * ``report TRACE`` — render a recorded JSONL trace into a summary
   (see :mod:`repro.obs` and ``docs/observability.md``).
+
+Exploration-heavy commands (``check-algorithm2``, ``refute``, ``fuzz``,
+``explore``) accept ``--kernel {auto,python,compiled}`` to pick the
+packed-state exploration backend (see ``docs/performance.md``); every
+choice produces byte-identical reports, verdicts, and cache keys.
 
 Every command builds a :class:`repro.reports.Report` and renders it
 through one renderer: ``--format text`` (default) prints the report
@@ -97,13 +104,14 @@ def _cmd_check_algorithm2(args: argparse.Namespace) -> Report:
         jobs=args.jobs,
         cache=args.cache,
         cache_dir=args.cache_dir,
+        kernel=args.kernel,
     )
 
 
 def _cmd_refute(args: argparse.Namespace) -> Report:
     from .api import refute
 
-    return refute(candidate=args.candidate, jobs=args.jobs)
+    return refute(candidate=args.candidate, jobs=args.jobs, kernel=args.kernel)
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> Report:
@@ -119,6 +127,26 @@ def _cmd_fuzz(args: argparse.Namespace) -> Report:
         corpus_dir=args.corpus_dir,
         shrink=args.shrink,
         max_steps=args.max_steps,
+        kernel=args.kernel,
+    )
+
+
+def _cmd_explore(args: argparse.Namespace) -> Report:
+    from .api import explore
+
+    inputs = None
+    if args.inputs is not None:
+        inputs = tuple(
+            int(part) for part in args.inputs.split(",") if part.strip() != ""
+        )
+    return explore(
+        n=args.n,
+        inputs=inputs,
+        symmetry=bool(args.symmetry),
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+        max_configurations=args.max_configurations,
+        kernel=args.kernel,
     )
 
 
@@ -432,6 +460,18 @@ def _add_observability_arguments(
     )
 
 
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    """``--kernel``, shared by the exploration-heavy commands."""
+    parser.add_argument(
+        "--kernel",
+        choices=("auto", "python", "compiled"),
+        default=None,
+        help="exploration backend (default: $REPRO_KERNEL or auto — "
+        "compiled when the extension is built, python otherwise); all "
+        "choices are byte-identical, see docs/performance.md",
+    )
+
+
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     """The scale-out flags shared by sweep commands."""
     parser.add_argument(
@@ -483,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
         "interchangeable; see docs/performance.md)",
     )
     _add_scale_arguments(check)
+    _add_kernel_argument(check)
     _add_observability_arguments(check)
 
     refute = commands.add_parser(
@@ -497,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the candidate sweep (default: 1, "
         "serial; results are merged deterministically either way)",
     )
+    _add_kernel_argument(refute)
     _add_observability_arguments(refute)
 
     fuzz = commands.add_parser(
@@ -569,7 +611,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="maximum schedule length per fuzzed run (default: 64)",
     )
+    _add_kernel_argument(fuzz)
     _add_observability_arguments(fuzz)
+
+    explore = commands.add_parser(
+        "explore",
+        help="build one Algorithm 2 instance's configuration graph and "
+        "report its shape",
+    )
+    explore.add_argument("--n", type=int, default=3)
+    explore.add_argument(
+        "--inputs",
+        default=None,
+        help="comma-separated input assignment (default: the paper's "
+        "initial inputs at size n)",
+    )
+    explore.add_argument(
+        "--symmetry",
+        action="store_true",
+        help="explore the symmetry-reduced quotient graph",
+    )
+    explore.add_argument(
+        "--max-configurations",
+        type=int,
+        default=400_000,
+        help="exploration budget (default: 400000)",
+    )
+    explore.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse (and persist) the graph via the content-addressed "
+        "exploration cache",
+    )
+    explore.add_argument(
+        "--no-cache",
+        action="store_false",
+        dest="cache",
+        help="disable the exploration cache (default)",
+    )
+    explore.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    _add_kernel_argument(explore)
+    _add_observability_arguments(explore)
 
     cache = commands.add_parser(
         "cache", help="persistent exploration cache maintenance"
@@ -639,6 +725,7 @@ _HANDLERS = {
     "lint": _cmd_lint,
     "cache": _cmd_cache,
     "fuzz": _cmd_fuzz,
+    "explore": _cmd_explore,
     "report": _cmd_report,
 }
 

@@ -19,11 +19,18 @@ so a gene sequence IS a replayable artifact, and the executed
 scripted replay of :mod:`repro.analysis.replay`.
 
 Coverage is *novel interned configurations*: the target's explorer
-interns every configuration it ever sees into a dense-id
-:class:`~repro.analysis.intern.InternTable`, so "new id allocated"
-is exactly "configuration never visited by any earlier run of this
-campaign" — the feedback signal that decides which gene sequences
-enter the corpus.
+interns every configuration it ever sees into the packed kernel's
+dense-id row table, so "new id allocated" is exactly "configuration
+never visited by any earlier run of this campaign" — the feedback
+signal that decides which gene sequences enter the corpus.
+
+The interpreter itself runs on packed ids: each step reads the current
+configuration's status row (enabled set, decisions, aborts are all
+functions of it, memoized per distinct row), picks an edge from the
+kernel's flat adjacency, and only materializes a ``Configuration``
+dataclass once — for the run's final state. Successor ids come from the
+same full-expansion order as the old object-level loop, so coverage ids
+and corpus decisions are bit-identical to the pre-kernel executor.
 """
 
 from __future__ import annotations
@@ -81,11 +88,21 @@ class FuzzExecutor:
     lookups, not transition recomputation.
     """
 
-    def __init__(self, target: FuzzTarget, max_steps: int = 64) -> None:
+    def __init__(
+        self,
+        target: FuzzTarget,
+        max_steps: int = 64,
+        kernel: Optional[str] = None,
+    ) -> None:
         self.target = target
         self.max_steps = max_steps
-        self.explorer = Explorer(target.objects, target.processes)
+        self.explorer = Explorer(target.objects, target.processes, kernel=kernel)
         self._initial = self.explorer.initial_configuration()
+        self._initial_id = self.explorer.intern_id(self._initial)
+        #: status-code row -> memoized task verdict: safety is a pure
+        #: function of the status segment, so one predicate call per
+        #: distinct row covers every configuration sharing it.
+        self._verdicts: Dict[Tuple[int, ...], SafetyVerdict] = {}
         #: Total :meth:`execute` calls over this executor's lifetime —
         #: campaign executions *plus* shrinker probes, so the engine can
         #: report shrink cost as the difference.
@@ -99,42 +116,47 @@ class FuzzExecutor:
         None for side-effect-free evaluation (the shrinker does)."""
         self.executions += 1
         explorer = self.explorer
+        backend = explorer._backend
+        segment_info = explorer._segment_info
+        successor_entries = explorer._successor_entries
         task = self.target.task
         inputs = self.target.inputs
         detect_cycles = self.target.detect_cycles
-        config = self._initial
+        verdicts = self._verdicts
+        cid = self._initial_id
         new_coverage = 0
-        if coverage is not None:
-            cid = explorer.intern_id(config)
-            if cid not in coverage:
-                coverage.add(cid)
-                new_coverage += 1
-        visited_at: Dict[int, int] = {explorer.intern_id(config): 0}
+        if coverage is not None and cid not in coverage:
+            coverage.add(cid)
+            new_coverage += 1
+        visited_at: Dict[int, int] = {cid: 0}
         edges: List[Edge] = []
         kind: Optional[str] = None
         verdict: Optional[SafetyVerdict] = None
         cycle_start: Optional[int] = None
         steps = 0
         for scheduler_gene, choice_gene in genes[: self.max_steps]:
-            enabled = config.enabled()
+            skey = backend.status_key(cid)
+            enabled = segment_info(skey)[2]
             if not enabled:
                 break
             pid = enabled[scheduler_gene % len(enabled)]
             options = [
                 entry
-                for entry in explorer.successors(config)
+                for entry in successor_entries(cid)
                 if entry[0].pid == pid
             ]
-            edge, config = options[choice_gene % len(options)]
+            edge, cid = options[choice_gene % len(options)]
             edges.append(edge)
             steps += 1
-            cid = explorer.intern_id(config)
             if coverage is not None and cid not in coverage:
                 coverage.add(cid)
                 new_coverage += 1
-            checked = task.check_safety(
-                inputs, config.decisions(), config.aborted()
-            )
+            skey = backend.status_key(cid)
+            checked = verdicts.get(skey)
+            if checked is None:
+                decisions, aborted, _ = segment_info(skey)
+                checked = task.check_safety(inputs, decisions, aborted)
+                verdicts[skey] = checked
             if not checked.ok:
                 kind = SAFETY
                 verdict = checked
@@ -154,7 +176,7 @@ class FuzzExecutor:
                 visited_at[cid] = steps
         return GeneRun(
             edges=tuple(edges),
-            final=config,
+            final=explorer.interned(cid),
             kind=kind,
             verdict=verdict,
             cycle_start=cycle_start,
