@@ -66,6 +66,10 @@ class TestParallelSweep:
             n=n,
             work_items=len(items),
             jobs=4,
+            # The pool is a ProcessPoolExecutor (fork-preferred), not a
+            # thread pool — distinct from the kernel's --kernel-threads
+            # frontier threading, which is in-process.
+            mode="process",
             cpu_count=multiprocessing.cpu_count(),
             serial_wall_seconds=serial_timing.median,
             serial_best_wall_seconds=serial_timing.best,

@@ -23,12 +23,42 @@ from typing import List, Optional
 
 _HERE = Path(__file__).resolve().parent
 SOURCE = _HERE / "_ckernel.c"
+#: Last failed build's output, persisted so `--kernel compiled` error
+#: messages can say *why* the extension is missing, not just that it is.
+BUILD_LOG = _HERE / "_build.log"
 
 
 def extension_path() -> Path:
     """Where the built extension lives (next to its source)."""
     suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
     return _HERE / f"_ckernel{suffix}"
+
+
+def last_build_error() -> Optional[str]:
+    """The captured output of the last failed build, or None.
+
+    Best-effort: an unreadable or absent log simply reports None (a
+    clean state, or a box where the log could not be written).
+    """
+    try:
+        text = BUILD_LOG.read_text(errors="replace").strip()
+    except OSError:
+        return None
+    return text or None
+
+
+def _record_build_error(text: str) -> None:
+    try:
+        BUILD_LOG.write_text(text)
+    except OSError:
+        pass  # diagnostics only; never fail the build over the log
+
+
+def _clear_build_error() -> None:
+    try:
+        BUILD_LOG.unlink()
+    except OSError:
+        pass
 
 
 def find_compiler() -> Optional[str]:
@@ -47,6 +77,7 @@ def build_command(compiler: str, output: Path) -> List[str]:
         "-O2",
         "-fPIC",
         "-shared",
+        "-pthread",
         "-I",
         include_dir,
         str(SOURCE),
@@ -65,6 +96,7 @@ def build(verbose: bool = True) -> bool:
     if compiler is None:
         if verbose:
             print("kernel-ext: no C compiler found; skipping", file=sys.stderr)
+        _record_build_error("no C compiler found (set CC, or install gcc/clang)")
         return False
     output = extension_path()
     command = build_command(compiler, output)
@@ -81,6 +113,7 @@ def build(verbose: bool = True) -> bool:
     except OSError as exc:
         if verbose:
             print(f"kernel-ext: build failed to launch: {exc}", file=sys.stderr)
+        _record_build_error(f"build failed to launch: {exc}")
         return False
     if proc.returncode != 0:
         if verbose:
@@ -90,6 +123,9 @@ def build(verbose: bool = True) -> bool:
                 "the python backend remains the default",
                 file=sys.stderr,
             )
+        _record_build_error(
+            f"compile failed (exit {proc.returncode}):\n{proc.stdout}"
+        )
         try:
             output.unlink()
         except OSError:
@@ -97,6 +133,7 @@ def build(verbose: bool = True) -> bool:
         return False
     if verbose:
         print(f"kernel-ext: built {output.name}", file=sys.stderr)
+    _clear_build_error()
     return True
 
 

@@ -5,12 +5,28 @@
  * state — the packed encoding of repro.analysis.kernel.encoding), an
  * open-addressing row hash table, the per-(pid, local[, object-state])
  * invoke and delta tables, and the recorded adjacency lists. The BFS
- * (run_bfs) runs entirely in C; protocol semantics stay in Python —
- * on a table miss the kernel calls back into the explorer
- * (resolve_invoke / compute_deltas) exactly once per key, in the same
- * deterministic pid-ascending, outcome-order sequence as the Python
- * backend, which is what makes configuration ids, edge ids, orders,
- * and therefore verdicts and digests byte-identical across backends.
+ * (run_bfs) runs entirely in C; protocol semantics reach it two ways:
+ *
+ * - load_tables bulk-ingests compiled protocol tables (see
+ *   repro.analysis.kernel.tables) ahead of exploration;
+ * - on a table miss the kernel calls back into the explorer
+ *   (resolve_invoke / compute_deltas) exactly once per key — the
+ *   not-yet-compiled fallback sentinel is simply an empty map slot.
+ *
+ * run_bfs expands each frontier in two phases: a *plan* phase that
+ * computes every successor row from the tables alone — pure C over
+ * immutable state, so the GIL is released and the frontier can be
+ * partitioned across OS threads — and a serial *commit* phase that
+ * interns the planned rows in frontier order (falling back to the
+ * GIL-holding callbacks for cids whose tables missed). Because the
+ * commit replays the exact serial discovery sequence, configuration
+ * ids, edge order, budget truncation, orders, parents, and digests
+ * are byte-identical across backends, table/callback modes, and
+ * thread counts.
+ *
+ * All heap state uses the PyMem_Raw* allocators, which are legal
+ * without the GIL; the low-level helpers never set Python errors
+ * (GIL-holding boundaries raise MemoryError after the fact).
  *
  * Built best-effort: setup.py marks the extension optional, and
  * `make kernel-ext` (repro.analysis.kernel._build) compiles it in
@@ -25,9 +41,18 @@
 #include <stdint.h>
 #include <string.h>
 
+#ifndef _WIN32
+#include <pthread.h>
+#define REPRO_KERNEL_PTHREADS 1
+#endif
+
 /* Must match repro.analysis.kernel.encoding.FIELD_BITS: slot codes are
  * allocated below 1 << 24, so they always fit a uint32 field. */
 #define FIELD_BITS 24
+
+/* Upper bound for --kernel-threads: beyond this, frontier partitioning
+ * overhead dwarfs any win on the graph sizes the explorer bounds. */
+#define MAX_PLAN_THREADS 16
 
 /* ---------------------------------------------------------------------
  * Growable int32 buffer
@@ -39,12 +64,16 @@ typedef struct {
     Py_ssize_t cap;
 } IntBuf;
 
+/* The intbuf/u64map/grow/intern helpers below are called with the GIL
+ * released (plan/commit phases), so on allocation failure they return
+ * -1 WITHOUT setting a Python error; GIL-holding boundaries translate
+ * that into MemoryError. */
+
 static int
 intbuf_init(IntBuf *buf, Py_ssize_t cap)
 {
-    buf->data = PyMem_Malloc((size_t)cap * sizeof(int32_t));
+    buf->data = PyMem_RawMalloc((size_t)cap * sizeof(int32_t));
     if (buf->data == NULL) {
-        PyErr_NoMemory();
         return -1;
     }
     buf->len = 0;
@@ -55,7 +84,7 @@ intbuf_init(IntBuf *buf, Py_ssize_t cap)
 static void
 intbuf_free(IntBuf *buf)
 {
-    PyMem_Free(buf->data);
+    PyMem_RawFree(buf->data);
     buf->data = NULL;
     buf->len = buf->cap = 0;
 }
@@ -70,9 +99,8 @@ intbuf_reserve(IntBuf *buf, Py_ssize_t extra)
     while (cap < buf->len + extra) {
         cap *= 2;
     }
-    int32_t *data = PyMem_Realloc(buf->data, (size_t)cap * sizeof(int32_t));
+    int32_t *data = PyMem_RawRealloc(buf->data, (size_t)cap * sizeof(int32_t));
     if (data == NULL) {
-        PyErr_NoMemory();
         return -1;
     }
     buf->data = data;
@@ -108,9 +136,8 @@ typedef struct {
 static int
 u64map_init(U64Map *map, Py_ssize_t size)
 {
-    map->entries = PyMem_Malloc((size_t)size * sizeof(U64Entry));
+    map->entries = PyMem_RawMalloc((size_t)size * sizeof(U64Entry));
     if (map->entries == NULL) {
-        PyErr_NoMemory();
         return -1;
     }
     for (Py_ssize_t i = 0; i < size; i++) {
@@ -124,7 +151,7 @@ u64map_init(U64Map *map, Py_ssize_t size)
 static void
 u64map_free(U64Map *map)
 {
-    PyMem_Free(map->entries);
+    PyMem_RawFree(map->entries);
     map->entries = NULL;
     map->size = map->count = 0;
 }
@@ -182,7 +209,7 @@ u64map_set(U64Map *map, uint64_t key, int32_t value)
                 map->count++;
             }
         }
-        PyMem_Free(old);
+        PyMem_RawFree(old);
     }
     Py_ssize_t mask = map->size - 1;
     Py_ssize_t index = (Py_ssize_t)(u64_mix(key) & (uint64_t)mask);
@@ -223,6 +250,9 @@ typedef struct {
     PyObject *compute_deltas;
     /* Interned rows: row_count * n_fields uint32 codes. */
     uint32_t *rows;
+    /* Per-row hash, cached at intern time so table growth re-buckets
+     * without rehashing row bytes (the cold-path hot spot). */
+    uint64_t *row_hashes;
     Py_ssize_t row_count;
     Py_ssize_t row_cap;
     /* Row hash table: open addressing over cids, -1 empty. */
@@ -244,12 +274,12 @@ typedef struct {
 static inline uint64_t
 row_hash(const uint32_t *row, int n_fields)
 {
-    /* FNV-1a over the row bytes. */
+    /* FNV-1a, one step per uint32 field (field-granular is 4x fewer
+     * multiplies than byte-granular and just as well distributed for
+     * small slot codes). Internal only — never leaves the process. */
     uint64_t hash = 1469598103934665603ULL;
-    const unsigned char *bytes = (const unsigned char *)row;
-    Py_ssize_t nbytes = (Py_ssize_t)n_fields * (Py_ssize_t)sizeof(uint32_t);
-    for (Py_ssize_t i = 0; i < nbytes; i++) {
-        hash ^= bytes[i];
+    for (int i = 0; i < n_fields; i++) {
+        hash ^= row[i];
         hash *= 1099511628211ULL;
     }
     return hash;
@@ -259,23 +289,26 @@ static int
 kernel_grow_rows(KernelState *self)
 {
     Py_ssize_t cap = self->row_cap * 2;
-    uint32_t *rows = PyMem_Realloc(
+    uint32_t *rows = PyMem_RawRealloc(
         self->rows, (size_t)cap * (size_t)self->n_fields * sizeof(uint32_t));
     if (rows == NULL) {
-        PyErr_NoMemory();
         return -1;
     }
     self->rows = rows;
-    int32_t **adj = PyMem_Realloc(self->adj, (size_t)cap * sizeof(int32_t *));
+    uint64_t *hashes = PyMem_RawRealloc(self->row_hashes,
+                                        (size_t)cap * sizeof(uint64_t));
+    if (hashes == NULL) {
+        return -1;
+    }
+    self->row_hashes = hashes;
+    int32_t **adj = PyMem_RawRealloc(self->adj, (size_t)cap * sizeof(int32_t *));
     if (adj == NULL) {
-        PyErr_NoMemory();
         return -1;
     }
     self->adj = adj;
     int32_t *adj_len =
-        PyMem_Realloc(self->adj_len, (size_t)cap * sizeof(int32_t));
+        PyMem_RawRealloc(self->adj_len, (size_t)cap * sizeof(int32_t));
     if (adj_len == NULL) {
-        PyErr_NoMemory();
         return -1;
     }
     self->adj_len = adj_len;
@@ -290,26 +323,26 @@ kernel_grow_rows(KernelState *self)
 static int
 kernel_grow_table(KernelState *self)
 {
-    Py_ssize_t new_size = self->table_size * 2;
-    int32_t *table = PyMem_Malloc((size_t)new_size * sizeof(int32_t));
+    /* Grow 4x: cached row hashes make re-bucketing cheap, so fewer,
+     * larger growth steps win on the cold path. */
+    Py_ssize_t new_size = self->table_size * 4;
+    int32_t *table = PyMem_RawMalloc((size_t)new_size * sizeof(int32_t));
     if (table == NULL) {
-        PyErr_NoMemory();
         return -1;
     }
     for (Py_ssize_t i = 0; i < new_size; i++) {
         table[i] = -1;
     }
     Py_ssize_t mask = new_size - 1;
-    int n_fields = self->n_fields;
     for (Py_ssize_t cid = 0; cid < self->row_count; cid++) {
-        const uint32_t *row = self->rows + cid * n_fields;
-        Py_ssize_t index = (Py_ssize_t)(row_hash(row, n_fields) & (uint64_t)mask);
+        Py_ssize_t index =
+            (Py_ssize_t)(self->row_hashes[cid] & (uint64_t)mask);
         while (table[index] >= 0) {
             index = (index + 1) & mask;
         }
         table[index] = (int32_t)cid;
     }
-    PyMem_Free(self->table);
+    PyMem_RawFree(self->table);
     self->table = table;
     self->table_size = new_size;
     return 0;
@@ -321,13 +354,15 @@ kernel_intern(KernelState *self, const uint32_t *row)
 {
     int n_fields = self->n_fields;
     Py_ssize_t mask = self->table_size - 1;
-    Py_ssize_t index = (Py_ssize_t)(row_hash(row, n_fields) & (uint64_t)mask);
+    uint64_t hash = row_hash(row, n_fields);
+    Py_ssize_t index = (Py_ssize_t)(hash & (uint64_t)mask);
     for (;;) {
         int32_t cid = self->table[index];
         if (cid < 0) {
             break;
         }
-        if (memcmp(self->rows + (Py_ssize_t)cid * n_fields, row,
+        if (self->row_hashes[cid] == hash &&
+            memcmp(self->rows + (Py_ssize_t)cid * n_fields, row,
                    (size_t)n_fields * sizeof(uint32_t)) == 0) {
             return cid;
         }
@@ -339,6 +374,7 @@ kernel_intern(KernelState *self, const uint32_t *row)
     }
     memcpy(self->rows + cid * n_fields, row,
            (size_t)n_fields * sizeof(uint32_t));
+    self->row_hashes[cid] = hash;
     self->row_count++;
     self->table[index] = (int32_t)cid;
     if (self->row_count * 3 >= self->table_size * 2 &&
@@ -354,13 +390,15 @@ kernel_find(const KernelState *self, const uint32_t *row)
 {
     int n_fields = self->n_fields;
     Py_ssize_t mask = self->table_size - 1;
-    Py_ssize_t index = (Py_ssize_t)(row_hash(row, n_fields) & (uint64_t)mask);
+    uint64_t hash = row_hash(row, n_fields);
+    Py_ssize_t index = (Py_ssize_t)(hash & (uint64_t)mask);
     for (;;) {
         int32_t cid = self->table[index];
         if (cid < 0) {
             return -1;
         }
-        if (memcmp(self->rows + (Py_ssize_t)cid * n_fields, row,
+        if (self->row_hashes[cid] == hash &&
+            memcmp(self->rows + (Py_ssize_t)cid * n_fields, row,
                    (size_t)n_fields * sizeof(uint32_t)) == 0) {
             return cid;
         }
@@ -402,6 +440,76 @@ kernel_parse_row(KernelState *self, PyObject *codes, uint32_t *out)
 /* Resolve the delta set for (pid, local, obj_index, obj_code), calling
  * back into Python on the first miss. Returns the delta-set id, -1 on
  * error. */
+/* Parse `outcomes` — a sequence of (eid, new_local, new_status,
+ * new_obj) 4-tuples — into a new delta set registered under `dkey`.
+ * Shared by the first-miss callback path and load_tables. Returns the
+ * delta-set id, -1 with a Python error set. GIL held. */
+static Py_ssize_t
+kernel_store_delta_set(KernelState *self, uint64_t dkey, PyObject *outcomes)
+{
+    PyObject *fast =
+        PySequence_Fast(outcomes, "delta outcomes must be a sequence");
+    if (fast == NULL) {
+        return -1;
+    }
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(fast);
+    uint32_t *vals = PyMem_RawMalloc((size_t)(n ? n : 1) * 4 * sizeof(uint32_t));
+    if (vals == NULL) {
+        Py_DECREF(fast);
+        PyErr_NoMemory();
+        return -1;
+    }
+    PyObject **items = PySequence_Fast_ITEMS(fast);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *entry = items[i];
+        if (!PyTuple_Check(entry) || PyTuple_GET_SIZE(entry) != 4) {
+            PyMem_RawFree(vals);
+            Py_DECREF(fast);
+            PyErr_SetString(PyExc_TypeError,
+                            "delta outcomes must be 4-tuples");
+            return -1;
+        }
+        for (int k = 0; k < 4; k++) {
+            long value = PyLong_AsLong(PyTuple_GET_ITEM(entry, k));
+            if (value == -1 && PyErr_Occurred()) {
+                PyMem_RawFree(vals);
+                Py_DECREF(fast);
+                return -1;
+            }
+            if (value < 0 || value > (long)UINT32_MAX) {
+                PyMem_RawFree(vals);
+                Py_DECREF(fast);
+                PyErr_Format(PyExc_ValueError,
+                             "delta value %ld out of range", value);
+                return -1;
+            }
+            vals[i * 4 + k] = (uint32_t)value;
+        }
+    }
+    Py_DECREF(fast);
+    if (self->ds_count >= self->ds_cap) {
+        Py_ssize_t cap = self->ds_cap ? self->ds_cap * 2 : 64;
+        DeltaSet *sets =
+            PyMem_RawRealloc(self->delta_sets, (size_t)cap * sizeof(DeltaSet));
+        if (sets == NULL) {
+            PyMem_RawFree(vals);
+            PyErr_NoMemory();
+            return -1;
+        }
+        self->delta_sets = sets;
+        self->ds_cap = cap;
+    }
+    Py_ssize_t index = self->ds_count;
+    self->delta_sets[index].n = (int32_t)n;
+    self->delta_sets[index].vals = vals;
+    self->ds_count++;
+    if (u64map_set(&self->deltas, dkey, (int32_t)index) < 0) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    return index;
+}
+
 static Py_ssize_t
 kernel_delta_set(KernelState *self, int pid, uint32_t local, int obj_index,
                  uint32_t obj_code)
@@ -418,66 +526,8 @@ kernel_delta_set(KernelState *self, int pid, uint32_t local, int obj_index,
     if (result == NULL) {
         return -1;
     }
-    PyObject *fast =
-        PySequence_Fast(result, "compute_deltas must return a sequence");
+    Py_ssize_t index = kernel_store_delta_set(self, dkey, result);
     Py_DECREF(result);
-    if (fast == NULL) {
-        return -1;
-    }
-    Py_ssize_t n = PySequence_Fast_GET_SIZE(fast);
-    uint32_t *vals = PyMem_Malloc((size_t)(n ? n : 1) * 4 * sizeof(uint32_t));
-    if (vals == NULL) {
-        Py_DECREF(fast);
-        PyErr_NoMemory();
-        return -1;
-    }
-    PyObject **items = PySequence_Fast_ITEMS(fast);
-    for (Py_ssize_t i = 0; i < n; i++) {
-        PyObject *entry = items[i];
-        if (!PyTuple_Check(entry) || PyTuple_GET_SIZE(entry) != 4) {
-            PyMem_Free(vals);
-            Py_DECREF(fast);
-            PyErr_SetString(PyExc_TypeError,
-                            "compute_deltas entries must be 4-tuples");
-            return -1;
-        }
-        for (int k = 0; k < 4; k++) {
-            long value = PyLong_AsLong(PyTuple_GET_ITEM(entry, k));
-            if (value == -1 && PyErr_Occurred()) {
-                PyMem_Free(vals);
-                Py_DECREF(fast);
-                return -1;
-            }
-            if (value < 0 || value > (long)UINT32_MAX) {
-                PyMem_Free(vals);
-                Py_DECREF(fast);
-                PyErr_Format(PyExc_ValueError,
-                             "delta value %ld out of range", value);
-                return -1;
-            }
-            vals[i * 4 + k] = (uint32_t)value;
-        }
-    }
-    Py_DECREF(fast);
-    if (self->ds_count >= self->ds_cap) {
-        Py_ssize_t cap = self->ds_cap ? self->ds_cap * 2 : 64;
-        DeltaSet *sets =
-            PyMem_Realloc(self->delta_sets, (size_t)cap * sizeof(DeltaSet));
-        if (sets == NULL) {
-            PyMem_Free(vals);
-            PyErr_NoMemory();
-            return -1;
-        }
-        self->delta_sets = sets;
-        self->ds_cap = cap;
-    }
-    Py_ssize_t index = self->ds_count;
-    self->delta_sets[index].n = (int32_t)n;
-    self->delta_sets[index].vals = vals;
-    self->ds_count++;
-    if (u64map_set(&self->deltas, dkey, (int32_t)index) < 0) {
-        return -1;
-    }
     return index;
 }
 
@@ -501,11 +551,12 @@ kernel_invoke_index(KernelState *self, int pid, uint32_t local)
     if (value == -1 && PyErr_Occurred()) {
         return -1;
     }
-    if (value < 0 || 2 * self->n_processes + value > self->n_fields) {
+    if (value < 0 || 2 * self->n_processes + value >= self->n_fields) {
         PyErr_Format(PyExc_ValueError, "object index %ld out of range", value);
         return -1;
     }
     if (u64map_set(&self->invoke, ikey, (int32_t)value) < 0) {
+        PyErr_NoMemory();
         return -1;
     }
     return (int)value;
@@ -554,7 +605,8 @@ kernel_expand_pid_into(KernelState *self, int pid, IntBuf *entries)
     return 0;
 }
 
-/* Compute and record the full adjacency of `cid`. Returns 0/-1. */
+/* Compute and record the full adjacency of `cid`. Returns 0/-1 with a
+ * Python error set (GIL held: this is the callback path). */
 static int
 kernel_expand_new(KernelState *self, Py_ssize_t cid)
 {
@@ -562,17 +614,21 @@ kernel_expand_new(KernelState *self, Py_ssize_t cid)
            (size_t)self->n_fields * sizeof(uint32_t));
     IntBuf entries;
     if (intbuf_init(&entries, 16) < 0) {
+        PyErr_NoMemory();
         return -1;
     }
     for (int pid = 0; pid < self->n_processes; pid++) {
         if (kernel_expand_pid_into(self, pid, &entries) < 0) {
             intbuf_free(&entries);
+            if (!PyErr_Occurred()) {
+                PyErr_NoMemory();
+            }
             return -1;
         }
     }
     int32_t *flat = NULL;
     if (entries.len) {
-        flat = PyMem_Malloc((size_t)entries.len * sizeof(int32_t));
+        flat = PyMem_RawMalloc((size_t)entries.len * sizeof(int32_t));
         if (flat == NULL) {
             intbuf_free(&entries);
             PyErr_NoMemory();
@@ -605,6 +661,230 @@ intbuf_as_list(const int32_t *data, Py_ssize_t len)
 }
 
 /* ---------------------------------------------------------------------
+ * Two-phase BFS: GIL-free plan, serial commit
+ * ------------------------------------------------------------------ */
+
+typedef struct {
+    uint32_t *data;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+} PlanBuf;
+
+static int
+planbuf_reserve(PlanBuf *buf, Py_ssize_t extra)
+{
+    if (buf->len + extra <= buf->cap) {
+        return 0;
+    }
+    Py_ssize_t cap = buf->cap ? buf->cap : 256;
+    while (cap < buf->len + extra) {
+        cap *= 2;
+    }
+    uint32_t *data = PyMem_RawRealloc(buf->data, (size_t)cap * sizeof(uint32_t));
+    if (data == NULL) {
+        return -1;
+    }
+    buf->data = data;
+    buf->cap = cap;
+    return 0;
+}
+
+/* Per-frontier-member plan verdicts. */
+#define PLAN_RECORDED 0 /* adjacency already recorded: nothing planned */
+#define PLAN_ROWS 1     /* successor rows planned in the job's PlanBuf */
+#define PLAN_CALLBACK 2 /* table miss: commit takes the callback path */
+
+typedef struct {
+    KernelState *self;
+    const int32_t *frontier;
+    Py_ssize_t begin; /* this job's frontier block: [begin, end) */
+    Py_ssize_t end;
+    unsigned char *flags; /* shared, indexed by frontier position */
+    PlanBuf plan;
+    Py_ssize_t read; /* commit-phase cursor into plan.data */
+    int oom;
+} PlanJob;
+
+/* Plan one contiguous frontier block from the tables alone: pure C
+ * over state no other thread writes, so it runs with the GIL released
+ * and blocks run in parallel. Per PLAN_ROWS cid the plan records
+ * [n_edges, then per edge: eid followed by the full successor row];
+ * any invoke/delta table miss discards the cid's partial record and
+ * flags it PLAN_CALLBACK for the commit phase. */
+static void
+plan_block(PlanJob *job)
+{
+    KernelState *self = job->self;
+    int n = self->n_processes;
+    int n_fields = self->n_fields;
+    for (Py_ssize_t f = job->begin; f < job->end; f++) {
+        Py_ssize_t cid = job->frontier[f];
+        if (self->adj_len[cid] >= 0) {
+            job->flags[f] = PLAN_RECORDED;
+            continue;
+        }
+        const uint32_t *src = self->rows + cid * n_fields;
+        Py_ssize_t mark = job->plan.len;
+        if (planbuf_reserve(&job->plan, 1) < 0) {
+            job->oom = 1;
+            return;
+        }
+        Py_ssize_t header = job->plan.len++;
+        uint32_t n_edges = 0;
+        int miss = 0;
+        for (int pid = 0; pid < n; pid++) {
+            if (src[n + pid] != 0) {
+                continue; /* status != RUNNING: nothing enabled */
+            }
+            uint32_t local = src[pid];
+            uint64_t ikey = ((uint64_t)pid << FIELD_BITS) | local;
+            int32_t obj_index = u64map_get(&self->invoke, ikey);
+            if (obj_index < 0) {
+                miss = 1;
+                break;
+            }
+            uint32_t obj_code = src[2 * n + obj_index];
+            int32_t dsi =
+                u64map_get(&self->deltas, (ikey << FIELD_BITS) | obj_code);
+            if (dsi < 0) {
+                miss = 1;
+                break;
+            }
+            const DeltaSet *set = &self->delta_sets[dsi];
+            if (planbuf_reserve(&job->plan,
+                                (Py_ssize_t)set->n * (1 + n_fields)) < 0) {
+                job->oom = 1;
+                return;
+            }
+            for (int32_t i = 0; i < set->n; i++) {
+                const uint32_t *vals = set->vals + (Py_ssize_t)i * 4;
+                uint32_t *out = job->plan.data + job->plan.len;
+                out[0] = vals[0]; /* eid */
+                memcpy(out + 1, src, (size_t)n_fields * sizeof(uint32_t));
+                out[1 + pid] = vals[1];
+                out[1 + n + pid] = vals[2];
+                out[1 + 2 * n + obj_index] = vals[3];
+                job->plan.len += 1 + n_fields;
+                n_edges++;
+            }
+        }
+        if (miss) {
+            job->plan.len = mark;
+            job->flags[f] = PLAN_CALLBACK;
+        } else {
+            job->plan.data[header] = n_edges;
+            job->flags[f] = PLAN_ROWS;
+        }
+    }
+}
+
+#ifdef REPRO_KERNEL_PTHREADS
+static void *
+plan_thread_main(void *arg)
+{
+    plan_block((PlanJob *)arg);
+    return NULL;
+}
+#endif
+
+typedef struct {
+    IntBuf *order;
+    IntBuf *parents;
+    IntBuf *next_frontier;
+    char *seen;
+    Py_ssize_t seen_cap;
+    Py_ssize_t seen_count;
+    Py_ssize_t expansions;
+    Py_ssize_t max_configurations;
+} CommitCtx;
+
+#define COMMIT_DONE 0
+#define COMMIT_TRUNCATED 1
+#define COMMIT_OOM (-1)
+#define COMMIT_PYERR (-2)
+
+/* Commit one planned frontier serially, in frontier order: intern the
+ * planned rows (or run the GIL-holding callback expansion for cids
+ * flagged PLAN_CALLBACK), record adjacency, then scan it with the
+ * exact serial budget semantics — the budget is charged per newly
+ * discovered successor, the truncating cid's adjacency is already
+ * recorded, and the walk stops mid-scan. Because this loop replays
+ * the serial discovery sequence regardless of how the plan phase was
+ * partitioned, cids and edge order are identical across thread
+ * counts. Touches no Python state unless a cid is flagged
+ * PLAN_CALLBACK, so with no flagged cid the caller runs it with the
+ * GIL released. */
+static int
+commit_frontier(KernelState *self, const int32_t *frontier, Py_ssize_t width,
+                const unsigned char *flags, PlanJob *jobs, Py_ssize_t chunk,
+                CommitCtx *ctx)
+{
+    int n_fields = self->n_fields;
+    for (Py_ssize_t f = 0; f < width; f++) {
+        Py_ssize_t cid = frontier[f];
+        ctx->expansions++;
+        if (flags[f] == PLAN_ROWS) {
+            PlanJob *job = &jobs[f / chunk];
+            uint32_t n_edges = job->plan.data[job->read++];
+            int32_t *flat = NULL;
+            if (n_edges) {
+                flat = PyMem_RawMalloc((size_t)n_edges * 2 * sizeof(int32_t));
+                if (flat == NULL) {
+                    return COMMIT_OOM;
+                }
+            }
+            for (uint32_t k = 0; k < n_edges; k++) {
+                const uint32_t *rec = job->plan.data + job->read;
+                Py_ssize_t tid = kernel_intern(self, rec + 1);
+                if (tid < 0) {
+                    PyMem_RawFree(flat);
+                    return COMMIT_OOM;
+                }
+                flat[k * 2] = (int32_t)rec[0];
+                flat[k * 2 + 1] = (int32_t)tid;
+                job->read += 1 + n_fields;
+            }
+            self->adj[cid] = flat;
+            self->adj_len[cid] = (int32_t)(n_edges * 2);
+        } else if (flags[f] == PLAN_CALLBACK) {
+            if (kernel_expand_new(self, cid) < 0) {
+                return COMMIT_PYERR;
+            }
+        }
+        if (ctx->seen_cap < self->row_count) {
+            Py_ssize_t cap = self->row_count;
+            char *grown = PyMem_RawRealloc(ctx->seen, (size_t)cap);
+            if (grown == NULL) {
+                return COMMIT_OOM;
+            }
+            memset(grown + ctx->seen_cap, 0, (size_t)(cap - ctx->seen_cap));
+            ctx->seen = grown;
+            ctx->seen_cap = cap;
+        }
+        const int32_t *adj = self->adj[cid];
+        int32_t adj_len = self->adj_len[cid];
+        for (int32_t k = 0; k < adj_len; k += 2) {
+            int32_t tid = adj[k + 1];
+            if (!ctx->seen[tid]) {
+                if (ctx->seen_count >= ctx->max_configurations) {
+                    return COMMIT_TRUNCATED;
+                }
+                ctx->seen[tid] = 1;
+                ctx->seen_count++;
+                if (intbuf_push(ctx->order, tid) < 0 ||
+                    intbuf_push(ctx->parents, tid) < 0 ||
+                    intbuf_push(ctx->parents, (int32_t)cid) < 0 ||
+                    intbuf_push(ctx->parents, adj[k]) < 0 ||
+                    intbuf_push(ctx->next_frontier, tid) < 0) {
+                    return COMMIT_OOM;
+                }
+            }
+        }
+    }
+    return COMMIT_DONE;
+}
+
+/* ---------------------------------------------------------------------
  * Python-visible methods
  * ------------------------------------------------------------------ */
 
@@ -626,7 +906,7 @@ KernelState_intern_row(KernelState *self, PyObject *codes)
     }
     Py_ssize_t cid = kernel_intern(self, self->scratch);
     if (cid < 0) {
-        return NULL;
+        return PyErr_NoMemory();
     }
     return PyLong_FromSsize_t(cid);
 }
@@ -721,10 +1001,13 @@ KernelState_expand_pid(KernelState *self, PyObject *args)
            (size_t)self->n_fields * sizeof(uint32_t));
     IntBuf entries;
     if (intbuf_init(&entries, 8) < 0) {
-        return NULL;
+        return PyErr_NoMemory();
     }
     if (kernel_expand_pid_into(self, pid, &entries) < 0) {
         intbuf_free(&entries);
+        if (!PyErr_Occurred()) {
+            PyErr_NoMemory();
+        }
         return NULL;
     }
     PyObject *result = intbuf_as_list(entries.data, entries.len);
@@ -760,98 +1043,235 @@ KernelState_status_key(KernelState *self, PyObject *arg)
 }
 
 static PyObject *
+KernelState_load_tables(KernelState *self, PyObject *args)
+{
+    PyObject *invoke_entries, *delta_entries;
+    if (!PyArg_ParseTuple(args, "OO", &invoke_entries, &delta_entries)) {
+        return NULL;
+    }
+    PyObject *fast =
+        PySequence_Fast(invoke_entries, "invoke entries must be a sequence");
+    if (fast == NULL) {
+        return NULL;
+    }
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(fast);
+    PyObject **items = PySequence_Fast_ITEMS(fast);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        int pid, obj_index;
+        unsigned int local;
+        if (!PyArg_ParseTuple(items[i], "iIi", &pid, &local, &obj_index)) {
+            Py_DECREF(fast);
+            return NULL;
+        }
+        if (pid < 0 || pid >= self->n_processes ||
+            local >= (1U << FIELD_BITS) || obj_index < 0 ||
+            2 * self->n_processes + obj_index >= self->n_fields) {
+            Py_DECREF(fast);
+            PyErr_SetString(PyExc_ValueError, "invoke entry out of range");
+            return NULL;
+        }
+        uint64_t ikey = ((uint64_t)pid << FIELD_BITS) | local;
+        if (u64map_set(&self->invoke, ikey, (int32_t)obj_index) < 0) {
+            Py_DECREF(fast);
+            return PyErr_NoMemory();
+        }
+    }
+    Py_DECREF(fast);
+    fast = PySequence_Fast(delta_entries, "delta entries must be a sequence");
+    if (fast == NULL) {
+        return NULL;
+    }
+    n = PySequence_Fast_GET_SIZE(fast);
+    items = PySequence_Fast_ITEMS(fast);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        int pid, obj_index;
+        unsigned int local, obj_code;
+        PyObject *outcomes;
+        if (!PyArg_ParseTuple(items[i], "iIiIO", &pid, &local, &obj_index,
+                              &obj_code, &outcomes)) {
+            Py_DECREF(fast);
+            return NULL;
+        }
+        if (pid < 0 || pid >= self->n_processes ||
+            local >= (1U << FIELD_BITS) || obj_code >= (1U << FIELD_BITS)) {
+            Py_DECREF(fast);
+            PyErr_SetString(PyExc_ValueError, "delta entry out of range");
+            return NULL;
+        }
+        uint64_t dkey =
+            ((((uint64_t)pid << FIELD_BITS) | local) << FIELD_BITS) | obj_code;
+        if (u64map_get(&self->deltas, dkey) >= 0) {
+            continue; /* a first-miss memo already holds this key */
+        }
+        if (kernel_store_delta_set(self, dkey, outcomes) < 0) {
+            Py_DECREF(fast);
+            return NULL;
+        }
+    }
+    Py_DECREF(fast);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
 KernelState_run_bfs(KernelState *self, PyObject *args)
 {
     Py_ssize_t start_id;
     Py_ssize_t max_configurations;
     PyObject *on_round = Py_None;
-    if (!PyArg_ParseTuple(args, "nn|O", &start_id, &max_configurations,
-                          &on_round)) {
+    int threads = 1;
+    if (!PyArg_ParseTuple(args, "nn|Oi", &start_id, &max_configurations,
+                          &on_round, &threads)) {
         return NULL;
     }
     if (kernel_check_cid(self, start_id) < 0) {
         return NULL;
     }
+    if (threads < 1) {
+        threads = 1;
+    } else if (threads > MAX_PLAN_THREADS) {
+        threads = MAX_PLAN_THREADS;
+    }
+#ifndef REPRO_KERNEL_PTHREADS
+    threads = 1;
+#endif
 
     IntBuf order, parents, frontier, next_frontier;
-    char *seen = NULL;
-    Py_ssize_t seen_cap = 0;
+    PlanJob jobs[MAX_PLAN_THREADS];
+    unsigned char *flags = NULL;
+    Py_ssize_t flags_cap = 0;
     PyObject *result = NULL;
+    CommitCtx ctx;
     int complete = 1;
-    Py_ssize_t expansions = 0;
     Py_ssize_t rounds = 0;
     Py_ssize_t depth = 0;
-    Py_ssize_t seen_count = 1;
 
+    memset(jobs, 0, sizeof(jobs));
+    memset(&ctx, 0, sizeof(ctx));
     order.data = parents.data = frontier.data = next_frontier.data = NULL;
+    order.len = order.cap = parents.len = parents.cap = 0;
+    frontier.len = frontier.cap = next_frontier.len = next_frontier.cap = 0;
     if (intbuf_init(&order, 256) < 0 || intbuf_init(&parents, 256) < 0 ||
         intbuf_init(&frontier, 64) < 0 || intbuf_init(&next_frontier, 64) < 0) {
-        goto done;
-    }
-    seen_cap = self->row_count;
-    seen = PyMem_Calloc((size_t)(seen_cap ? seen_cap : 1), 1);
-    if (seen == NULL) {
         PyErr_NoMemory();
         goto done;
     }
-    seen[start_id] = 1;
+    ctx.order = &order;
+    ctx.parents = &parents;
+    ctx.next_frontier = &next_frontier;
+    ctx.max_configurations = max_configurations;
+    ctx.seen_cap = self->row_count;
+    ctx.seen = PyMem_RawCalloc((size_t)(ctx.seen_cap ? ctx.seen_cap : 1), 1);
+    if (ctx.seen == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    ctx.seen[start_id] = 1;
+    ctx.seen_count = 1;
     if (intbuf_push(&order, (int32_t)start_id) < 0 ||
         intbuf_push(&frontier, (int32_t)start_id) < 0) {
+        PyErr_NoMemory();
         goto done;
     }
 
     while (frontier.len) {
+        Py_ssize_t width = frontier.len;
         if (on_round != Py_None) {
             PyObject *hook_result = PyObject_CallFunction(
-                on_round, "nnn", depth, frontier.len, seen_count);
+                on_round, "nnn", depth, width, ctx.seen_count);
             if (hook_result == NULL) {
                 goto done;
             }
             Py_DECREF(hook_result);
         }
-        for (Py_ssize_t f = 0; f < frontier.len; f++) {
-            Py_ssize_t cid = frontier.data[f];
-            expansions++;
-            if (self->adj_len[cid] < 0) {
-                if (kernel_expand_new(self, cid) < 0) {
-                    goto done;
-                }
-                if (seen_cap < self->row_count) {
-                    Py_ssize_t cap = self->row_count;
-                    char *grown = PyMem_Realloc(seen, (size_t)cap);
-                    if (grown == NULL) {
-                        PyErr_NoMemory();
-                        goto done;
-                    }
-                    memset(grown + seen_cap, 0, (size_t)(cap - seen_cap));
-                    seen = grown;
-                    seen_cap = cap;
+        if (flags_cap < width) {
+            unsigned char *grown = PyMem_RawRealloc(flags, (size_t)width);
+            if (grown == NULL) {
+                PyErr_NoMemory();
+                goto done;
+            }
+            flags = grown;
+            flags_cap = width;
+        }
+        Py_ssize_t n_jobs = threads < width ? threads : width;
+        Py_ssize_t chunk = (width + n_jobs - 1) / n_jobs;
+        n_jobs = (width + chunk - 1) / chunk;
+        for (Py_ssize_t j = 0; j < n_jobs; j++) {
+            jobs[j].self = self;
+            jobs[j].frontier = frontier.data;
+            jobs[j].begin = j * chunk;
+            jobs[j].end = (j + 1) * chunk < width ? (j + 1) * chunk : width;
+            jobs[j].flags = flags;
+            jobs[j].plan.len = 0;
+            jobs[j].read = 0;
+            jobs[j].oom = 0;
+        }
+        int oom = 0;
+        int have_callbacks = 0;
+        int verdict = COMMIT_DONE;
+        /* Plan the whole frontier with the GIL released — across OS
+         * threads when asked — and, when no cid needs a callback,
+         * commit inside the same GIL-free region. */
+        Py_BEGIN_ALLOW_THREADS
+#ifdef REPRO_KERNEL_PTHREADS
+        if (n_jobs > 1) {
+            pthread_t tids[MAX_PLAN_THREADS];
+            int spawned[MAX_PLAN_THREADS];
+            for (Py_ssize_t j = 1; j < n_jobs; j++) {
+                spawned[j] = pthread_create(&tids[j], NULL, plan_thread_main,
+                                            &jobs[j]) == 0;
+            }
+            plan_block(&jobs[0]);
+            for (Py_ssize_t j = 1; j < n_jobs; j++) {
+                if (spawned[j]) {
+                    pthread_join(tids[j], NULL);
+                } else {
+                    plan_block(&jobs[j]); /* spawn failed: run inline */
                 }
             }
-            const int32_t *adj = self->adj[cid];
-            int32_t adj_len = self->adj_len[cid];
-            for (int32_t k = 0; k < adj_len; k += 2) {
-                int32_t tid = adj[k + 1];
-                if (!seen[tid]) {
-                    if (seen_count >= max_configurations) {
-                        /* Budget exhausted mid-scan: stop exactly here,
-                         * matching the Python backend (later frontier
-                         * members stay unexpanded; rounds counts only
-                         * fully completed frontiers). */
-                        complete = 0;
-                        goto build;
-                    }
-                    seen[tid] = 1;
-                    seen_count++;
-                    if (intbuf_push(&order, tid) < 0 ||
-                        intbuf_push(&parents, tid) < 0 ||
-                        intbuf_push(&parents, (int32_t)cid) < 0 ||
-                        intbuf_push(&parents, adj[k]) < 0 ||
-                        intbuf_push(&next_frontier, tid) < 0) {
-                        goto done;
-                    }
+        } else {
+            plan_block(&jobs[0]);
+        }
+#else
+        plan_block(&jobs[0]);
+#endif
+        for (Py_ssize_t j = 0; j < n_jobs; j++) {
+            oom |= jobs[j].oom;
+        }
+        if (!oom) {
+            for (Py_ssize_t f = 0; f < width; f++) {
+                if (flags[f] == PLAN_CALLBACK) {
+                    have_callbacks = 1;
+                    break;
                 }
             }
+            if (!have_callbacks) {
+                verdict = commit_frontier(self, frontier.data, width, flags,
+                                          jobs, chunk, &ctx);
+            }
+        }
+        Py_END_ALLOW_THREADS
+        if (oom) {
+            PyErr_NoMemory();
+            goto done;
+        }
+        if (have_callbacks) {
+            verdict = commit_frontier(self, frontier.data, width, flags, jobs,
+                                      chunk, &ctx);
+        }
+        if (verdict == COMMIT_OOM) {
+            PyErr_NoMemory();
+            goto done;
+        }
+        if (verdict == COMMIT_PYERR) {
+            goto done;
+        }
+        if (verdict == COMMIT_TRUNCATED) {
+            /* Budget exhausted mid-scan: stop exactly here, matching
+             * the Python backend (later frontier members stay
+             * unexpanded; rounds counts only fully completed
+             * frontiers). */
+            complete = 0;
+            goto build;
         }
         rounds++;
         depth++;
@@ -872,10 +1292,15 @@ build:;
         goto done;
     }
     result = Py_BuildValue("(NNOnn)", order_list, parents_list,
-                           complete ? Py_True : Py_False, expansions, rounds);
+                           complete ? Py_True : Py_False, ctx.expansions,
+                           rounds);
 
 done:
-    PyMem_Free(seen);
+    PyMem_RawFree(ctx.seen);
+    PyMem_RawFree(flags);
+    for (int j = 0; j < MAX_PLAN_THREADS; j++) {
+        PyMem_RawFree(jobs[j].plan.data);
+    }
     intbuf_free(&order);
     intbuf_free(&parents);
     intbuf_free(&frontier);
@@ -912,14 +1337,17 @@ KernelState_init(KernelState *self, PyObject *args, PyObject *kwargs)
     Py_XSETREF(self->compute_deltas, compute_deltas);
 
     self->row_cap = 256;
-    self->rows = PyMem_Malloc(
+    self->rows = PyMem_RawMalloc(
         (size_t)self->row_cap * (size_t)n_fields * sizeof(uint32_t));
-    self->adj = PyMem_Malloc((size_t)self->row_cap * sizeof(int32_t *));
-    self->adj_len = PyMem_Malloc((size_t)self->row_cap * sizeof(int32_t));
-    self->src_row = PyMem_Malloc((size_t)n_fields * sizeof(uint32_t));
-    self->scratch = PyMem_Malloc((size_t)n_fields * sizeof(uint32_t));
-    if (self->rows == NULL || self->adj == NULL || self->adj_len == NULL ||
-        self->src_row == NULL || self->scratch == NULL) {
+    self->row_hashes =
+        PyMem_RawMalloc((size_t)self->row_cap * sizeof(uint64_t));
+    self->adj = PyMem_RawMalloc((size_t)self->row_cap * sizeof(int32_t *));
+    self->adj_len = PyMem_RawMalloc((size_t)self->row_cap * sizeof(int32_t));
+    self->src_row = PyMem_RawMalloc((size_t)n_fields * sizeof(uint32_t));
+    self->scratch = PyMem_RawMalloc((size_t)n_fields * sizeof(uint32_t));
+    if (self->rows == NULL || self->row_hashes == NULL || self->adj == NULL ||
+        self->adj_len == NULL || self->src_row == NULL ||
+        self->scratch == NULL) {
         PyErr_NoMemory();
         return -1;
     }
@@ -929,7 +1357,7 @@ KernelState_init(KernelState *self, PyObject *args, PyObject *kwargs)
     }
     self->row_count = 0;
     self->table_size = 1024;
-    self->table = PyMem_Malloc((size_t)self->table_size * sizeof(int32_t));
+    self->table = PyMem_RawMalloc((size_t)self->table_size * sizeof(int32_t));
     if (self->table == NULL) {
         PyErr_NoMemory();
         return -1;
@@ -939,6 +1367,7 @@ KernelState_init(KernelState *self, PyObject *args, PyObject *kwargs)
     }
     if (u64map_init(&self->invoke, 256) < 0 ||
         u64map_init(&self->deltas, 1024) < 0) {
+        PyErr_NoMemory();
         return -1;
     }
     self->delta_sets = NULL;
@@ -967,23 +1396,24 @@ KernelState_dealloc(KernelState *self)
 {
     PyObject_GC_UnTrack(self);
     KernelState_clear(self);
-    PyMem_Free(self->rows);
-    PyMem_Free(self->table);
+    PyMem_RawFree(self->rows);
+    PyMem_RawFree(self->row_hashes);
+    PyMem_RawFree(self->table);
     if (self->adj != NULL) {
         for (Py_ssize_t i = 0; i < self->row_cap; i++) {
-            PyMem_Free(self->adj[i]);
+            PyMem_RawFree(self->adj[i]);
         }
     }
-    PyMem_Free(self->adj);
-    PyMem_Free(self->adj_len);
+    PyMem_RawFree(self->adj);
+    PyMem_RawFree(self->adj_len);
     u64map_free(&self->invoke);
     u64map_free(&self->deltas);
     for (Py_ssize_t i = 0; i < self->ds_count; i++) {
-        PyMem_Free(self->delta_sets[i].vals);
+        PyMem_RawFree(self->delta_sets[i].vals);
     }
-    PyMem_Free(self->delta_sets);
-    PyMem_Free(self->src_row);
-    PyMem_Free(self->scratch);
+    PyMem_RawFree(self->delta_sets);
+    PyMem_RawFree(self->src_row);
+    PyMem_RawFree(self->scratch);
     Py_TYPE(self)->tp_free((PyObject *)self);
 }
 
@@ -1008,6 +1438,8 @@ static PyMethodDef KernelState_methods[] = {
      "Flat [eid, tid, ...] for one pid; does not record adjacency."},
     {"status_key", (PyCFunction)KernelState_status_key, METH_O,
      "The process status codes of cid as a tuple."},
+    {"load_tables", (PyCFunction)KernelState_load_tables, METH_VARARGS,
+     "Bulk-ingest compiled protocol tables (invoke and delta entries)."},
     {"run_bfs", (PyCFunction)KernelState_run_bfs, METH_VARARGS,
      "Batch BFS: (order, parents, complete, expansions, rounds)."},
     {NULL, NULL, 0, NULL},
@@ -1050,7 +1482,14 @@ PyInit__ckernel(void)
     if (module == NULL) {
         return NULL;
     }
+#ifdef REPRO_KERNEL_PTHREADS
+    int has_threads = 1;
+#else
+    int has_threads = 0;
+#endif
     if (PyModule_AddIntConstant(module, "FIELD_BITS", FIELD_BITS) < 0 ||
+        PyModule_AddIntConstant(module, "HAS_THREADS", has_threads) < 0 ||
+        PyModule_AddIntConstant(module, "MAX_THREADS", MAX_PLAN_THREADS) < 0 ||
         PyModule_AddStringConstant(module, "NAME", "compiled") < 0) {
         Py_DECREF(module);
         return NULL;

@@ -74,6 +74,36 @@ class PyKernel:
         #: ((pid << F | local) << F | obj_code) -> ((eid, adjustment), ...).
         self._deltas: dict = {}
 
+    # -- compiled protocol tables ---------------------------------------------
+
+    def load_tables(self, invoke_entries, delta_entries) -> None:
+        """Bulk-ingest compiled protocol tables (see ``kernel.tables``).
+
+        Entries land in the same memo maps the first-miss callbacks
+        populate, so loaded keys never call back into Python; keys the
+        compiler did not cover stay absent — the fallback sentinel —
+        and take the callback path unchanged.
+        """
+        invoke = self._invoke
+        for pid, local, obj_index in invoke_entries:
+            invoke[(pid << FIELD_BITS) | local] = obj_index
+        n = self.n_processes
+        deltas = self._deltas
+        for pid, local, obj_index, obj_code, outcomes in delta_entries:
+            ikey = (pid << FIELD_BITS) | local
+            lshift = pid * FIELD_BITS
+            sshift = (n + pid) * FIELD_BITS
+            oshift = (2 * n + obj_index) * FIELD_BITS
+            deltas[(ikey << FIELD_BITS) | obj_code] = tuple(
+                (
+                    eid,
+                    ((new_local - local) << lshift)
+                    + (new_status << sshift)
+                    + ((new_obj - obj_code) << oshift),
+                )
+                for eid, new_local, new_status, new_obj in outcomes
+            )
+
     # -- interning ------------------------------------------------------------
 
     def intern_row(self, codes: Sequence[int]) -> int:
@@ -229,6 +259,7 @@ class PyKernel:
         start_id: int,
         max_configurations: int,
         on_round: Optional[Callable[[int, int, int], None]] = None,
+        threads: int = 1,
     ) -> Tuple[List[int], List[int], bool, int, int]:
         """Breadth-first expansion of the whole reachable graph.
 
@@ -240,11 +271,17 @@ class PyKernel:
         truncated the walk. ``on_round(depth, width, seen)`` fires once
         per frontier before it is scanned (tracing hook).
 
+        ``threads`` is accepted for backend-signature parity and
+        ignored: the GIL serializes this backend anyway, and results
+        are byte-identical across thread counts by contract, so the
+        serial walk *is* the threaded walk's observable behavior.
+
         Truncation replicates the object-level loop exactly: the budget
         is charged per *newly discovered* successor, the truncating
         configuration's adjacency is already recorded, and the walk
         stops mid-scan (later frontier members stay unexpanded).
         """
+        del threads  # byte-identical by contract; nothing to vary
         words = self._words
         adjacency = self._adjacency
         seen = bytearray(len(words))

@@ -1,0 +1,204 @@
+"""Protocol table compiler: callback semantics flattened ahead of time.
+
+The kernel backends memoize protocol semantics on first miss — every
+distinct ``(pid, local)`` and ``(pid, local, object-state)`` key costs
+one trip through the Python callbacks (``resolve_invoke`` /
+``compute_deltas``) before its flat-table entry exists. On cold
+exploration those first misses dominate the wall clock (~18µs each
+against sub-µs table replay), which is the Amdahl cap PR 7 measured.
+
+:func:`compile_tables` removes the misses from the exploration path: it
+enumerates the protocol's transition structure *ahead of exploration*
+over the encoder's code space — every process automaton local state
+that can be running, crossed with every state its invoked object can
+reach — into one :class:`ProtocolTables` value. A fresh
+:class:`~repro.analysis.explorer.Explorer` then *loads* the tables:
+
+* the encoder replays the compiler's slot-code allocations (codes are
+  first-seen, so replaying the same sequence reproduces the same
+  codes),
+* the edge-id table replays the compiler's ``(pid, choice, response)``
+  allocations,
+* the backend bulk-ingests the invoke and delta entries
+  (``load_tables``), after which frontier expansion needs no Python at
+  all — the compiled backend releases the GIL across whole frontiers.
+
+**Fallback sentinel.** Tables may be *incomplete* (the closure is
+budgeted, and it over-approximates reachability, so it can also be cut
+off early). Missing keys are simply absent from the backend maps — the
+open-addressing probe answers "empty", which is the not-yet-compiled
+sentinel — and the backend falls back to the existing first-miss
+callbacks for exactly those keys. Correctness never depends on table
+coverage.
+
+**Determinism contract.** The closure walks worklists in list order
+with per-pair cursors — no set iteration, no hash-order dependence —
+so a given protocol instance always compiles to byte-identical tables.
+Table-loaded explorers allocate slot codes and edge ids in *closure*
+order rather than BFS-miss order, so raw rows and raw edge ids differ
+from callback mode; every exposed observable (configuration ids,
+orders, parents as :class:`Edge` values, round events, verdicts,
+digests, reports, cache keys) is identical because ids are allocated
+in discovery order over a bijective row↔configuration map and edge
+ids are resolved to semantic ``Edge`` objects before anything leaves
+the explorer. The property suite pins this observable-by-observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Mapping, Sequence, Tuple
+
+from ...errors import AnalysisError
+
+#: Default closure budget: entries are ~20µs each to compile, so this
+#: caps a pathological product space at a few seconds before the
+#: compiler gives up and leaves the rest to the callback fallback.
+DEFAULT_ENTRY_BUDGET = 200_000
+
+#: One compiled outcome row: (edge id, new local, new status, new obj).
+Outcome = Tuple[int, int, int, int]
+
+#: One delta entry: (pid, local code, object index, object code,
+#: sorted outcome rows) — the flat form both backends ingest.
+DeltaEntry = Tuple[int, int, int, int, Tuple[Outcome, ...]]
+
+
+@dataclass(frozen=True)
+class ProtocolTables:
+    """The compiled transition structure of one protocol instance.
+
+    Self-contained: carries the encoder allocation sequences (so a
+    fresh explorer can reproduce the compiler's code space), the edge
+    allocation sequence, and the flat invoke/delta entries keyed by
+    those codes. Values are the interned protocol objects themselves —
+    tables travel to pool workers by pickle like configurations do.
+    """
+
+    n_processes: int
+    n_objects: int
+    #: Per-pid local-state values in slot-code allocation order.
+    local_values: Tuple[Tuple[Hashable, ...], ...]
+    #: Status values in allocation order (seed statuses first).
+    status_values: Tuple[Tuple, ...]
+    #: Per-object state values in slot-code allocation order.
+    object_values: Tuple[Tuple[Hashable, ...], ...]
+    #: (pid, choice, response) in edge-id allocation order.
+    edges: Tuple[Tuple[int, int, Hashable], ...]
+    #: (pid, local code, invoked object index) per running local.
+    invoke_entries: Tuple[Tuple[int, int, int], ...]
+    #: The compiled delta map — see :data:`DeltaEntry`.
+    delta_entries: Tuple[DeltaEntry, ...]
+    #: False when the entry budget (or a per-entry error on an
+    #: over-approximated state) cut the closure short; missing keys
+    #: fall back to the runtime callbacks.
+    complete: bool
+
+    @property
+    def entries(self) -> int:
+        """The number of compiled delta entries."""
+        return len(self.delta_entries)
+
+
+def compile_tables(
+    objects: Mapping[str, object],
+    processes: Sequence[object],
+    *,
+    entry_budget: int = DEFAULT_ENTRY_BUDGET,
+) -> ProtocolTables:
+    """Compile one protocol instance's tables over its code space.
+
+    The closure seeds the initial configuration, then drives the same
+    callbacks exploration would (``_resolve_invoke_codes`` /
+    ``_compute_delta_codes``) over a worklist of ``(pid, running
+    local code, invoked object)`` pairs, each holding a cursor into
+    its object's growing code list. New running locals and new object
+    codes extend the worklist until no cursor can advance — a
+    deterministic fixpoint independent of ``PYTHONHASHSEED``.
+    """
+    # Deferred: explorer imports this package's __init__.
+    from ..explorer import Explorer
+
+    explorer = Explorer(objects, processes, kernel="python", tables=False)
+    encoder = explorer._encoder
+    initial = explorer.initial_configuration()
+    row = encoder.encode(
+        initial.process_states, initial.statuses, initial.object_states
+    )
+    n = len(explorer.processes)
+
+    invoke_entries: List[Tuple[int, int, int]] = []
+    delta_entries: List[DeltaEntry] = []
+    #: (pid, local_code, obj_index) worklist, discovery order.
+    pairs: List[Tuple[int, int, int]] = []
+    #: pairs[i]'s next unprocessed code in its object's slot.
+    cursors: List[int] = []
+    seen_locals = set()
+    complete = True
+
+    def add_pair(pid: int, local_code: int) -> None:
+        if (pid, local_code) in seen_locals:
+            return
+        seen_locals.add((pid, local_code))
+        obj_index = explorer._resolve_invoke_codes(pid, local_code)
+        invoke_entries.append((pid, local_code, obj_index))
+        pairs.append((pid, local_code, obj_index))
+        cursors.append(0)
+
+    for pid in range(n):
+        if row[n + pid] == 0:  # status code 0 = RUNNING = enabled
+            add_pair(pid, row[pid])
+
+    object_values = encoder._object_values
+    budget_exhausted = False
+    progress = True
+    while progress and not budget_exhausted:
+        progress = False
+        index = 0
+        while index < len(pairs):  # pairs grow during the sweep
+            pid, local_code, obj_index = pairs[index]
+            codes = object_values[obj_index]
+            while cursors[index] < len(codes):
+                obj_code = cursors[index]
+                cursors[index] += 1
+                progress = True
+                if len(delta_entries) >= entry_budget:
+                    complete = False
+                    budget_exhausted = True
+                    break
+                try:
+                    outcomes = explorer._compute_delta_codes(
+                        pid, local_code, obj_index, obj_code
+                    )
+                except AnalysisError:
+                    # The product closure over-approximates
+                    # reachability; a state pairing that only exists
+                    # off the reachable graph may not have defined
+                    # semantics. Leave the key to the runtime
+                    # callback, which raises the real error iff the
+                    # pairing is actually reachable.
+                    complete = False
+                    continue
+                delta_entries.append(
+                    (pid, local_code, obj_index, obj_code, outcomes)
+                )
+                for _eid, new_local, new_status, _new_obj in outcomes:
+                    if new_status == 0:
+                        add_pair(pid, new_local)
+            if budget_exhausted:
+                break
+            index += 1
+
+    return ProtocolTables(
+        n_processes=n,
+        n_objects=len(explorer.specs),
+        local_values=tuple(
+            tuple(values) for values in encoder._local_values
+        ),
+        status_values=tuple(encoder._status_values),
+        object_values=tuple(tuple(values) for values in object_values),
+        edges=tuple(explorer._edge_ids),
+        invoke_entries=tuple(invoke_entries),
+        delta_entries=tuple(delta_entries),
+        complete=complete,
+    )

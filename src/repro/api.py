@@ -18,8 +18,12 @@ exploration cache), ``seed=`` (campaign seed), ``kernel=`` (exploration
 backend: ``auto``/``python``/``compiled`` — pinned via ``REPRO_KERNEL``
 for the call so pool workers inherit it; results are byte-identical
 across backends, so reports and cache keys never mention the choice),
-``trace=`` (a path: the call records a JSONL trace there, see
-:mod:`repro.obs`). Every call
+``kernel_tables=`` (``on``/``off``: pre-compile protocol semantics into
+flat tables ahead of exploration; ``REPRO_KERNEL_TABLES``),
+``kernel_threads=`` (frontier threads in the compiled backend;
+``REPRO_KERNEL_THREADS`` — both knobs are observable-identical, pure
+throughput), ``trace=`` (a path: the call records a JSONL trace there,
+see :mod:`repro.obs`). Every call
 opens an observation session — joining the ambient one when the CLI
 (or an outer call) already holds it — and embeds the deterministic
 metrics snapshot in the returned report.
@@ -46,6 +50,8 @@ def verify(
     cache: bool = False,
     cache_dir: Optional[str] = None,
     kernel: Optional[str] = None,
+    kernel_tables: Optional[str] = None,
+    kernel_threads: Optional[int] = None,
     trace: Optional[str] = None,
 ) -> Report:
     """Model-check Theorem 4.1 at size ``n`` over every input assignment."""
@@ -53,7 +59,7 @@ def verify(
 
     with obs.session(
         trace_path=trace, meta={"command": "check-algorithm2"}
-    ) as sess, kernel_env(kernel):
+    ) as sess, kernel_env(kernel, tables=kernel_tables, threads=kernel_threads):
         report = _verify_body(
             n=n, symmetry=symmetry, jobs=jobs, cache=cache, cache_dir=cache_dir
         )
@@ -222,6 +228,8 @@ def refute(
     candidate: Optional[str] = None,
     jobs: int = 1,
     kernel: Optional[str] = None,
+    kernel_tables: Optional[str] = None,
+    kernel_threads: Optional[int] = None,
     trace: Optional[str] = None,
 ) -> Report:
     """Run the doomed-candidate suite; every witness must match its
@@ -229,7 +237,7 @@ def refute(
     from .analysis.kernel import kernel_env
 
     with obs.session(trace_path=trace, meta={"command": "refute"}) as sess, \
-            kernel_env(kernel):
+            kernel_env(kernel, tables=kernel_tables, threads=kernel_threads):
         report = _refute_body(candidate=candidate, jobs=jobs)
         return report.with_metrics(sess.snapshot())
 
@@ -348,6 +356,8 @@ def fuzz(
     shrink: bool = True,
     max_steps: int = 64,
     kernel: Optional[str] = None,
+    kernel_tables: Optional[str] = None,
+    kernel_threads: Optional[int] = None,
     trace: Optional[str] = None,
 ) -> Report:
     """Coverage-guided schedule/response fuzzing with shrinking and
@@ -355,7 +365,7 @@ def fuzz(
     from .analysis.kernel import kernel_env
 
     with obs.session(trace_path=trace, meta={"command": "fuzz"}) as sess, \
-            kernel_env(kernel):
+            kernel_env(kernel, tables=kernel_tables, threads=kernel_threads):
         report = _fuzz_body(
             candidate=candidate,
             algorithm2_n=algorithm2_n,
@@ -573,6 +583,8 @@ def explore(
     cache_dir: Optional[str] = None,
     max_configurations: int = 400_000,
     kernel: Optional[str] = None,
+    kernel_tables: Optional[str] = None,
+    kernel_threads: Optional[int] = None,
     trace: Optional[str] = None,
 ) -> Report:
     """Build one Algorithm 2 instance's reachable configuration graph.
@@ -584,7 +596,7 @@ def explore(
     from .analysis.kernel import kernel_env
 
     with obs.session(trace_path=trace, meta={"command": "explore"}) as sess, \
-            kernel_env(kernel):
+            kernel_env(kernel, tables=kernel_tables, threads=kernel_threads):
         report = _explore_body(
             n=n,
             inputs=inputs,

@@ -1,0 +1,180 @@
+"""Property-based tests: table-compiled semantics == callback semantics.
+
+The table compiler (:mod:`repro.analysis.kernel.tables`) is only a
+cold-path accelerator — it must never change what an exploration
+observes. Two families pin that down:
+
+* **observable equivalence** — for every registered protocol family
+  (the doomed-candidate suite plus Algorithm 2 instances) and
+  arbitrary exploration budgets, the callback and table-compiled modes
+  produce identical BFS orders, parents (resolved to ``Edge`` objects,
+  not raw eids), round events, completeness verdicts, expansion
+  counts, and portable-graph digests — on every available backend and
+  for thread counts 1 and 2;
+* **hash-seed independence, threaded** — the digest of a threaded
+  (``threads=2``) table-compiled exploration is re-checked in
+  subprocesses under varied ``PYTHONHASHSEED``, extending the R001
+  replayability contract to the tables + threads configuration.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cache import graph_digest
+from repro.analysis.explorer import Explorer
+from repro.analysis.kernel import compile_tables, compiled_available
+from repro.core.pac import NPacSpec
+from repro.protocols.candidates import all_candidates
+from repro.protocols.dac_from_pac import algorithm2_processes
+
+
+def _families():
+    """Every registered protocol family as (name, objects, processes)."""
+    families = []
+    for index, candidate in enumerate(all_candidates()):
+        families.append(
+            (f"candidate-{index}", candidate.objects, candidate.processes)
+        )
+    for inputs in ((1, 0), (1, 0, 0)):
+        n = len(inputs)
+        families.append(
+            (
+                f"algorithm2-n{n}",
+                {"PAC": NPacSpec(n)},
+                algorithm2_processes(inputs),
+            )
+        )
+    return families
+
+
+FAMILIES = _families()
+
+_TABLES_CACHE = {}
+
+
+def _tables_for(index):
+    """Compile (once) the tables for the ``index``-th family."""
+    if index not in _TABLES_CACHE:
+        _, objects, processes = FAMILIES[index]
+        _TABLES_CACHE[index] = compile_tables(objects, processes)
+    return _TABLES_CACHE[index]
+
+
+def _kernels():
+    return ("python", "compiled") if compiled_available() else ("python",)
+
+
+def _observe(objects, processes, kernel, tables, threads, budget):
+    """Everything a caller can see from one exploration.
+
+    Parents are resolved through ``Edge`` objects (pid/choice/response),
+    never raw eids — table loading may allocate eids in a different
+    internal order, and that must stay invisible.
+    """
+    explorer = Explorer(
+        objects, processes, kernel=kernel, tables=tables, threads=threads
+    )
+    start_id = explorer.intern_id(explorer.initial_configuration())
+    result = explorer.explore(max_configurations=budget)
+    rounds = []
+    explorer._backend.run_bfs(
+        start_id,
+        budget,
+        lambda depth, width, seen: rounds.append((depth, width, seen)),
+        explorer.kernel_threads,
+    )
+    return {
+        "order": list(result.order_ids),
+        "parents": {
+            tid: (cid, (edge.pid, edge.choice, edge.response))
+            for tid, (cid, edge) in result.parent_ids.items()
+        },
+        "rounds": rounds,
+        "complete": result.complete,
+        "expansions": result.expansions,
+        "digest": graph_digest(result.to_portable()),
+    }
+
+
+class TestTablesObservableEquivalence:
+    @given(
+        st.integers(min_value=0, max_value=len(FAMILIES) - 1),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tables_match_callbacks_at_any_budget(self, index, budget):
+        _, objects, processes = FAMILIES[index]
+        tables = _tables_for(index)
+        reference = None
+        for kernel in _kernels():
+            for mode in (False, tables):
+                for threads in (1, 2):
+                    observed = _observe(
+                        objects, processes, kernel, mode, threads, budget
+                    )
+                    if reference is None:
+                        reference = observed
+                    assert observed == reference, (
+                        f"{FAMILIES[index][0]}: kernel={kernel} "
+                        f"tables={bool(mode)} threads={threads} diverged "
+                        f"at budget={budget}"
+                    )
+
+    @pytest.mark.parametrize("index", range(len(FAMILIES)))
+    def test_exhaustive_digest_per_family(self, index):
+        """Full exploration of every family: table mode cannot move the
+        portable digest on any backend."""
+        _, objects, processes = FAMILIES[index]
+        tables = _tables_for(index)
+        digests = {
+            _observe(objects, processes, kernel, mode, 1, 100_000)["digest"]
+            for kernel in _kernels()
+            for mode in (False, tables)
+        }
+        assert len(digests) == 1
+
+
+def threaded_tables_digest():
+    """Digest of a threaded, table-compiled Algorithm 2 exploration —
+    run in subprocesses under varied ``PYTHONHASHSEED`` below."""
+    explorer = Explorer(
+        {"PAC": NPacSpec(3)},
+        algorithm2_processes((1, 0, 0)),
+        tables=True,
+        threads=2,
+    )
+    result = explorer.explore()
+    return graph_digest(result.to_portable())
+
+
+class TestThreadedHashSeedIndependence:
+    def test_threaded_tables_digest_stable_across_hash_seeds(self):
+        here = os.path.abspath(__file__)
+        program = (
+            "import runpy; "
+            f"module = runpy.run_path({here!r}); "
+            "print(module['threaded_tables_digest']())"
+        )
+        digests = set()
+        for seed in ("0", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (env.get("PYTHONPATH"), *sys.path) if p
+            )
+            output = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout.strip()
+            digests.add(output)
+        assert len(digests) == 1, (
+            "threaded table-compiled digests drift with PYTHONHASHSEED"
+        )
+        assert threaded_tables_digest() in digests
