@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install kernel-ext test bench bench-perf experiments examples lint fuzz trace-smoke verify clean
+.PHONY: install kernel-ext test bench bench-perf bench-serve experiments examples lint fuzz trace-smoke serve serve-smoke verify clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,7 +23,7 @@ bench-perf:
 	pytest benchmarks/bench_perf_core.py benchmarks/bench_perf_substrates.py \
 		benchmarks/bench_perf_parallel.py benchmarks/bench_perf_fuzz.py \
 		benchmarks/bench_perf_obs.py benchmarks/bench_perf_lint.py \
-		benchmarks/bench_perf_kernel.py \
+		benchmarks/bench_perf_kernel.py benchmarks/bench_perf_serve.py \
 		--benchmark-disable -q
 	@echo "--- BENCH_perf.json ---"
 	@cat BENCH_perf.json
@@ -67,6 +67,26 @@ trace-smoke:
 		assert j1['metrics'] == j2['metrics'], (j1['metrics'], j2['metrics']); \
 		assert j1['body'] == j2['body'] and j1['summary'] == j2['summary']; \
 		print('metrics snapshots and rendered output identical across --jobs 1/2')"
+
+# Run the verification service on the default port (docs/serve.md).
+serve:
+	python -m repro serve
+
+# Serve end-to-end harness: boot an ephemeral server, byte-diff served
+# reports against direct api calls, replay the workload for warm hits,
+# assert single-flight coalescing under a concurrent burst, and check
+# the NDJSON event stream (same harness CI's serve-smoke job runs).
+serve-smoke:
+	python -m repro serve-smoke
+
+# Refresh the serve_load row of BENCH_perf.json: thousands of
+# concurrent clients in a hot/cold/fuzz mix against a live server,
+# recording latency percentiles and coalesce/cache hit-rates.
+# REPRO_PERF_SCALE=tiny shrinks the fleet (CI smoke).
+bench-serve:
+	pytest benchmarks/bench_perf_serve.py --benchmark-disable -q
+	@echo "--- BENCH_perf.json ---"
+	@cat BENCH_perf.json
 
 # The reproduction smoke-check: every CLI command must exit 0.
 verify:

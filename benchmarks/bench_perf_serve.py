@@ -1,0 +1,222 @@
+"""Load bench for ``repro serve``: thousands of concurrent clients.
+
+One entry in ``BENCH_perf.json`` (``serve_load``): an asyncio harness
+drives a mixed workload against an in-process server —
+
+* **hot repeats** — a small set of cacheable verify/explore requests
+  submitted over and over (the warm result cache and the coalescing
+  map should absorb almost all of them);
+* **cold novels** — explore requests with distinct semantic fields
+  (each one a real engine run);
+* **fuzz campaigns** — seeded fuzz requests, the heaviest class.
+
+Each simulated client opens its own connection, submits one request,
+and measures wall latency to the full Report response. The entry
+records p50/p95/p99/max latency (overall and per class), the
+coalesce/cache-hit rates from ``/v1/metrics``, engine runs versus
+clients served, and throughput. Latency fields are named
+``*_latency_s`` — they are percentile statistics over thousands of
+samples, not the single-callable medians the ``*wall_seconds``
+contract pairs with best-of.
+
+``REPRO_PERF_SCALE=tiny`` drops the fleet from ~2000 clients to ~120
+for the CI smoke job; the entry's ``scale`` tag keeps the numbers
+apart. The server runs in ``thread`` mode (one serial engine worker),
+so the bench measures the *service* — admission, coalescing, caching,
+streaming plumbing — under concurrency, not engine parallelism.
+"""
+
+import asyncio
+import json
+import math
+import time
+
+from _perf_report import perf_scale, record
+from repro.serve import ServerConfig
+from repro.serve.testing import BackgroundServer
+
+
+def _fleet():
+    """(hot, cold, fuzz, max in-flight connections) for the scale."""
+    if perf_scale() == "tiny":
+        return 100, 12, 4, 64
+    return 1800, 24, 6, 256
+
+
+def _workload(hot, cold, fuzz):
+    """The interleaved (class, path, payload) list, deterministic."""
+    hot_pool = [
+        ("verify", {"n": 2}),
+        ("explore", {"n": 2}),
+        ("verify", {"n": 2, "symmetry": True}),
+    ]
+    entries = []
+    for index in range(hot):
+        command, fields = hot_pool[index % len(hot_pool)]
+        entries.append(("hot", f"/v1/{command}", dict(fields)))
+    for index in range(cold):
+        # Distinct semantic field -> distinct fingerprint -> real run.
+        entries.append(
+            (
+                "cold",
+                "/v1/explore",
+                {"n": 2, "max_configurations": 300_000 + index},
+            )
+        )
+    for index in range(fuzz):
+        entries.append(
+            (
+                "fuzz",
+                "/v1/fuzz",
+                {
+                    "candidate": "2-consensus from queue",
+                    "seed": index + 1,
+                    "budget": 30,
+                },
+            )
+        )
+    # Deterministic interleave: a fixed-stride permutation spreads the
+    # cold/fuzz entries through the hot stream rather than front- or
+    # back-loading them (no hash(), no RNG — identical every run).
+    size = len(entries)
+    stride = 7919
+    while math.gcd(stride, size) != 1:
+        stride += 1
+    return [entries[(index * stride) % size] for index in range(size)]
+
+
+async def _one_client(host, port, path, payload, semaphore):
+    """One connection, one request, one latency sample."""
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: bench\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    async with semaphore:
+        start = time.perf_counter()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(head + body)
+        await writer.drain()
+        raw = await reader.read(-1)  # Connection: close -> EOF framing
+        latency = time.perf_counter() - start
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    status = int(raw.split(b" ", 2)[1])
+    header_block = raw.split(b"\r\n\r\n", 1)[0].decode("latin-1")
+    disposition = ""
+    for line in header_block.split("\r\n"):
+        if line.lower().startswith("x-repro-disposition:"):
+            disposition = line.split(":", 1)[1].strip()
+    return status, disposition, latency
+
+
+async def _drive(host, port, entries, max_inflight):
+    semaphore = asyncio.Semaphore(max_inflight)
+    tasks = [
+        asyncio.create_task(
+            _one_client(host, port, path, payload, semaphore)
+        )
+        for _, path, payload in entries
+    ]
+    outcomes = await asyncio.gather(*tasks)
+    return [
+        (entries[index][0],) + outcome
+        for index, outcome in enumerate(outcomes)
+    ]
+
+
+def _percentile(sorted_samples, q):
+    index = max(0, math.ceil(q * len(sorted_samples)) - 1)
+    return sorted_samples[min(index, len(sorted_samples) - 1)]
+
+
+def _latency_stats(prefix, samples):
+    ordered = sorted(samples)
+    return {
+        f"{prefix}p50_latency_s": _percentile(ordered, 0.50),
+        f"{prefix}p95_latency_s": _percentile(ordered, 0.95),
+        f"{prefix}p99_latency_s": _percentile(ordered, 0.99),
+        f"{prefix}max_latency_s": ordered[-1],
+    }
+
+
+class TestServeLoad:
+    def test_bench_mixed_fleet(self, benchmark):
+        hot, cold, fuzz = _fleet()[:3]
+        max_inflight = _fleet()[3]
+        entries = _workload(hot, cold, fuzz)
+        config = ServerConfig(
+            port=0,
+            mode="thread",
+            max_queue=4096,
+            result_cache_size=512,
+            job_history_size=64,
+        )
+        with BackgroundServer(config) as handle:
+            start = time.perf_counter()
+            outcomes = asyncio.run(
+                _drive(handle.host, handle.port, entries, max_inflight)
+            )
+            harness_wall = time.perf_counter() - start
+            metrics = handle.client.metrics()
+
+            statuses = sorted({status for _, status, _, _ in outcomes})
+            assert statuses == [200], statuses
+
+            counters = metrics["counters"]
+            total = len(entries)
+            engine_runs = counters["started"]
+            coalesced = counters["coalesced"]
+            cache_hits = counters["cache_hits"]
+            # The hot stream must be absorbed: engine runs are bounded
+            # by the novel work plus the distinct hot shapes.
+            assert engine_runs <= cold + fuzz + 3 + 1, engine_runs
+            assert coalesced + cache_hits >= hot - 3, (coalesced, cache_hits)
+
+            fields = {
+                "clients": total,
+                "hot_clients": hot,
+                "cold_clients": cold,
+                "fuzz_clients": fuzz,
+                "max_inflight": max_inflight,
+                "mode": "thread",
+                "engine_runs": engine_runs,
+                "coalesced": coalesced,
+                "cache_hits": cache_hits,
+                "coalesce_rate": coalesced / total,
+                "cache_hit_rate": cache_hits / total,
+                "queue_depth": metrics["max_queue"],
+                "throughput_rps": total / harness_wall,
+                "harness_wall_seconds": harness_wall,
+                "harness_best_wall_seconds": harness_wall,
+                "repeats": 1,
+            }
+            fields.update(
+                _latency_stats(
+                    "", [latency for _, _, _, latency in outcomes]
+                )
+            )
+            for klass in ("hot", "cold", "fuzz"):
+                samples = [
+                    latency
+                    for kind, _, _, latency in outcomes
+                    if kind == klass
+                ]
+                if samples:
+                    fields.update(_latency_stats(f"{klass}_", samples))
+            record("serve_load", **fields)
+
+            # The benchmark fixture times the steady-state hot path:
+            # one warm, coalescible request end to end.
+            client = handle.client
+            try:
+                response = benchmark(lambda: client.verify(n=2))
+                assert response.status == 200
+            finally:
+                client.close()

@@ -33,13 +33,19 @@ paper-versus-measured record.
 
 from .errors import (
     AnalysisError,
+    CacheIntegrityError,
     ExplorationBudgetExceeded,
     InvalidOperationError,
+    InvalidRequestError,
+    KernelUnavailableError,
     NotLinearizableError,
     ProtocolError,
     ReproError,
     SchedulingError,
+    ServerOverloadedError,
     SpecificationError,
+    classify_error,
+    error_report,
 )
 from .types import ABORT, BOTTOM, DONE, NIL, Operation, op
 from .objects import (
@@ -106,6 +112,7 @@ __all__ = [
     "AbortableDacSpec",
     "AnalysisError",
     "BOTTOM",
+    "CacheIntegrityError",
     "CombinedPacSpec",
     "CompareAndSwapSpec",
     "ConsensusTask",
@@ -117,7 +124,9 @@ __all__ = [
     "FetchAndAddSpec",
     "GeneratorProcess",
     "InvalidOperationError",
+    "InvalidRequestError",
     "KSetAgreementTask",
+    "KernelUnavailableError",
     "LinearizabilityChecker",
     "MConsensusSpec",
     "NIL",
@@ -134,6 +143,7 @@ __all__ = [
     "SchedulingError",
     "SeededScheduler",
     "SequentialSpec",
+    "ServerOverloadedError",
     "SetAgreementBundleSpec",
     "SetAgreementPower",
     "SharedObject",
@@ -152,6 +162,8 @@ __all__ = [
     "check_linearizable",
     "check_theorem_3_5",
     "classify",
+    "classify_error",
+    "error_report",
     "find_critical_configuration",
     "is_legal_history",
     "make_on",

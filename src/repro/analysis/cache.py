@@ -59,21 +59,23 @@ from typing import (
 )
 
 from .. import obs
-from ..errors import AnalysisError
+from ..errors import CacheIntegrityError
 from ..types import Value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .explorer import ExplorationResult, Explorer
 
-
-class CacheIntegrityError(AnalysisError):
-    """A warm cache entry failed its digest validation.
-
-    Raised when a rehydrated payload does not reproduce the digest
-    recorded at store time — the entry is stale, corrupt, or was
-    written by an incompatible serializer, and using it could silently
-    change a verdict.
-    """
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheIntegrityError",
+    "CacheStats",
+    "ExplorationCache",
+    "canonicalize",
+    "code_salt",
+    "explore_cached",
+    "fingerprint",
+    "graph_digest",
+]
 
 
 #: Bumped whenever the payload layout changes; part of every fingerprint.
@@ -120,6 +122,12 @@ def _canonical(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return tuple(_canonical(v) for v in value)
     return value
+
+
+#: Public name for the canonical rendering — the request objects in
+#: :mod:`repro.api.requests` canonicalize through exactly this function
+#: so their fingerprints and the exploration cache's agree structurally.
+canonicalize = _canonical
 
 
 def fingerprint(**components: Any) -> str:

@@ -106,6 +106,7 @@ def select(kernel: Optional[str] = None) -> str:
         return "compiled" if compiled_available() else "python"
     if kernel == "compiled" and not compiled_available():
         from . import _build
+        from ...errors import KernelUnavailableError
 
         message = (
             "kernel 'compiled' requested but the accelerated extension is "
@@ -114,7 +115,7 @@ def select(kernel: Optional[str] = None) -> str:
         build_error = _build.last_build_error()
         if build_error is not None:
             message += f"\nlast build attempt failed with:\n{build_error}"
-        raise AnalysisError(message)
+        raise KernelUnavailableError(message)
     return kernel
 
 

@@ -1,88 +1,98 @@
-"""repro.api — the stable programmatic façade.
+"""One executor for every typed request: :func:`execute`.
 
-One function per top-level activity, all keyword-only, all returning a
-:class:`repro.reports.Report`:
+The four phase bodies (moved here from the pre-request ``repro/api.py``)
+are private; everything — the keyword-only façade wrappers, the CLI
+adapters, the server's job runner — funnels through
+``execute(request)``:
 
-* :func:`verify` — model-check Algorithm 2 / Theorem 4.1 at size ``n``
-  (the engine behind ``repro check-algorithm2``);
-* :func:`refute` — run the doomed-candidate suite and check every
-  observed failure against its expectation (``repro refute``);
-* :func:`fuzz` — seeded coverage-guided schedule/response fuzzing with
-  shrinking and strict replay (``repro fuzz``);
-* :func:`explore` — build one instance's reachable configuration graph
-  and report its shape (the raw material of the other three).
+* opens an observation session (joining the ambient one when the CLI
+  or an outer call already holds it) tagged with the request's report
+  command;
+* pins the kernel environment knobs from the request's
+  :class:`~repro.api.requests.ExecutionOptions` so pool workers
+  inherit them;
+* dispatches on the request type and returns the schema-versioned
+  :class:`repro.reports.Report` with the session's metrics snapshot
+  embedded.
 
-Parameter conventions are uniform: ``jobs=`` (worker processes,
-``1`` = inline), ``cache=``/``cache_dir=`` (the content-addressed
-exploration cache), ``seed=`` (campaign seed), ``kernel=`` (exploration
-backend: ``auto``/``python``/``compiled`` — pinned via ``REPRO_KERNEL``
-for the call so pool workers inherit it; results are byte-identical
-across backends, so reports and cache keys never mention the choice),
-``kernel_tables=`` (``on``/``off``: pre-compile protocol semantics into
-flat tables ahead of exploration; ``REPRO_KERNEL_TABLES``),
-``kernel_threads=`` (frontier threads in the compiled backend;
-``REPRO_KERNEL_THREADS`` — both knobs are observable-identical, pure
-throughput), ``trace=`` (a path: the call records a JSONL trace there,
-see :mod:`repro.obs`). Every call
-opens an observation session — joining the ambient one when the CLI
-(or an outer call) already holds it — and embeds the deterministic
-metrics snapshot in the returned report.
-
-The CLI commands are thin adapters over these functions; their text
-output is exactly ``"\\n".join(report.body)``.
+``execute`` raises on failure (preserving the façade's exception
+semantics); callers that must always produce an envelope — the server's
+job runner, the CLI driver — catch :class:`repro.errors.ReproError`
+and fold it through :func:`repro.errors.error_report`, which is how the
+error taxonomy reaches HTTP statuses and exit codes from one table.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from . import obs
-from .reports import Finding, Report
+from .. import obs
+from ..errors import InvalidRequestError
+from ..reports import Finding, Report
+from .requests import (
+    ExploreRequest,
+    FuzzRequest,
+    RefuteRequest,
+    Request,
+    VerifyRequest,
+)
 
-__all__ = ["verify", "refute", "fuzz", "explore"]
+__all__ = ["execute"]
 
 
-def verify(
-    *,
-    n: int = 3,
-    symmetry: bool = False,
-    jobs: int = 1,
-    cache: bool = False,
-    cache_dir: Optional[str] = None,
-    kernel: Optional[str] = None,
-    kernel_tables: Optional[str] = None,
-    kernel_threads: Optional[int] = None,
-    trace: Optional[str] = None,
-) -> Report:
-    """Model-check Theorem 4.1 at size ``n`` over every input assignment."""
-    from .analysis.kernel import kernel_env
+def execute(request: Request, *, trace: Optional[Any] = None) -> Report:
+    """Run one typed request to its Report.
 
-    with obs.session(
-        trace_path=trace, meta={"command": "check-algorithm2"}
-    ) as sess, kernel_env(kernel, tables=kernel_tables, threads=kernel_threads):
-        report = _verify_body(
-            n=n, symmetry=symmetry, jobs=jobs, cache=cache, cache_dir=cache_dir
+    ``trace`` overrides ``request.options.trace`` — a filesystem path
+    (or any object with ``write``) receiving the run's JSONL trace;
+    the server passes each job's spool file here so subscribers can
+    stream the tracer's spans and events as they happen.
+    """
+    body = _BODIES.get(type(request))
+    if body is None:
+        raise InvalidRequestError(
+            f"not an executable request: {request!r}"
         )
+    from ..analysis.kernel import kernel_env
+
+    options = request.options  # type: ignore[attr-defined]
+    trace_path = trace if trace is not None else options.trace
+    with obs.session(
+        trace_path=trace_path, meta={"command": request.report_command}
+    ) as sess, kernel_env(
+        options.kernel,
+        tables=options.kernel_tables,
+        threads=options.kernel_threads,
+    ):
+        report = body(request)
         return report.with_metrics(sess.snapshot())
 
 
-def _verify_body(
-    *, n: int, symmetry: bool, jobs: int, cache: bool, cache_dir: Optional[str]
-) -> Report:
-    from .analysis.cache import ExplorationCache, fingerprint
-    from .analysis.parallel import (
+# -- phase bodies -----------------------------------------------------------
+
+
+def _verify_body(request: VerifyRequest) -> Report:
+    from ..analysis.cache import ExplorationCache, fingerprint
+    from ..analysis.parallel import (
         VerificationPool,
         WorkItem,
         algorithm2_instance_check,
     )
-    from .protocols.tasks import DacDecisionTask
+    from ..protocols.tasks import DacDecisionTask
 
+    n = request.n
+    symmetry = request.symmetry
+    jobs = request.options.jobs
     lines: List[str] = []
     findings: List[Finding] = []
     data: dict = {"n": n, "symmetry": bool(symmetry), "jobs": jobs}
     task = DacDecisionTask(n)
     inputs_list = [tuple(inputs) for inputs in task.input_assignments()]
-    cache_obj = ExplorationCache(cache_dir) if cache else None
+    cache_obj = (
+        ExplorationCache(request.options.cache_dir)
+        if request.options.cache
+        else None
+    )
 
     with obs.span("verify", n=n, instances=len(inputs_list)), \
             obs.profile_phase("verify"):
@@ -223,33 +233,16 @@ def _verify_body(
     )
 
 
-def refute(
-    *,
-    candidate: Optional[str] = None,
-    jobs: int = 1,
-    kernel: Optional[str] = None,
-    kernel_tables: Optional[str] = None,
-    kernel_threads: Optional[int] = None,
-    trace: Optional[str] = None,
-) -> Report:
-    """Run the doomed-candidate suite; every witness must match its
-    expected failure kind."""
-    from .analysis.kernel import kernel_env
-
-    with obs.session(trace_path=trace, meta={"command": "refute"}) as sess, \
-            kernel_env(kernel, tables=kernel_tables, threads=kernel_threads):
-        report = _refute_body(candidate=candidate, jobs=jobs)
-        return report.with_metrics(sess.snapshot())
-
-
-def _refute_body(*, candidate: Optional[str], jobs: int) -> Report:
-    from .analysis.parallel import (
+def _refute_body(request: RefuteRequest) -> Report:
+    from ..analysis.parallel import (
         VerificationPool,
         WorkItem,
         candidate_outcome,
     )
-    from .protocols.candidates import all_candidates
+    from ..protocols.candidates import all_candidates
 
+    candidate = request.candidate
+    jobs = request.options.jobs
     lines: List[str] = []
     findings: List[Finding] = []
     candidates = all_candidates()
@@ -344,66 +337,24 @@ def _refute_body(*, candidate: Optional[str], jobs: int) -> Report:
     )
 
 
-def fuzz(
-    *,
-    candidate: Optional[str] = None,
-    algorithm2_n: Optional[int] = None,
-    budget: int = 300,
-    seed: int = 0,
-    jobs: int = 1,
-    shards: Optional[int] = None,
-    corpus_dir: Optional[str] = None,
-    shrink: bool = True,
-    max_steps: int = 64,
-    kernel: Optional[str] = None,
-    kernel_tables: Optional[str] = None,
-    kernel_threads: Optional[int] = None,
-    trace: Optional[str] = None,
-) -> Report:
-    """Coverage-guided schedule/response fuzzing with shrinking and
-    strict replay; bit-reproducible per ``seed`` across ``jobs``."""
-    from .analysis.kernel import kernel_env
+def _fuzz_body(request: FuzzRequest) -> Report:
+    from ..analysis.render import render_schedule
+    from ..fuzz.corpus import FuzzCorpus
+    from ..fuzz.engine import fuzz_campaign
+    from ..fuzz.executor import FuzzExecutor
+    from ..fuzz.target import target_from_spec
+    from ..protocols.candidates import all_candidates
+    from ..protocols.tasks import DacDecisionTask
 
-    with obs.session(trace_path=trace, meta={"command": "fuzz"}) as sess, \
-            kernel_env(kernel, tables=kernel_tables, threads=kernel_threads):
-        report = _fuzz_body(
-            candidate=candidate,
-            algorithm2_n=algorithm2_n,
-            budget=budget,
-            seed=seed,
-            jobs=jobs,
-            shards=shards,
-            corpus_dir=corpus_dir,
-            shrink=shrink,
-            max_steps=max_steps,
-        )
-        return report.with_metrics(sess.snapshot())
-
-
-def _fuzz_body(
-    *,
-    candidate: Optional[str],
-    algorithm2_n: Optional[int],
-    budget: int,
-    seed: int,
-    jobs: int,
-    shards: Optional[int],
-    corpus_dir: Optional[str],
-    shrink: bool,
-    max_steps: int,
-) -> Report:
-    from .analysis.render import render_schedule
-    from .fuzz.corpus import FuzzCorpus
-    from .fuzz.engine import fuzz_campaign
-    from .fuzz.executor import FuzzExecutor
-    from .fuzz.target import target_from_spec
-    from .protocols.candidates import all_candidates
-    from .protocols.tasks import DacDecisionTask
-
+    candidate = request.candidate
+    budget = request.budget
+    seed = request.seed
+    jobs = request.options.jobs
+    max_steps = request.max_steps
     lines: List[str] = []
     findings: List[Finding] = []
-    if algorithm2_n is not None:
-        n = algorithm2_n
+    if request.algorithm2_n is not None:
+        n = request.algorithm2_n
         specs: List[Tuple[Any, ...]] = [
             ("algorithm2", n, tuple(inputs))
             for inputs in DacDecisionTask(n).input_assignments()
@@ -432,7 +383,7 @@ def _fuzz_body(
                 )
         specs = [("candidate", index) for index in indices]
 
-    corpus = FuzzCorpus(corpus_dir) if corpus_dir else None
+    corpus = FuzzCorpus(request.corpus_dir) if request.corpus_dir else None
     failed = False
     targets = []
     with obs.span("fuzz", targets=len(specs), budget=budget, seed=seed), \
@@ -443,10 +394,10 @@ def _fuzz_body(
                 spec,
                 seed=seed,
                 budget=budget,
-                shards=shards,
+                shards=request.shards,
                 jobs=jobs,
                 max_steps=max_steps,
-                shrink=shrink,
+                shrink=request.shrink,
                 corpus=corpus,
             )
             lines.append("")
@@ -574,61 +525,20 @@ def _fuzz_body(
     )
 
 
-def explore(
-    *,
-    n: int = 3,
-    inputs: Optional[Sequence[Any]] = None,
-    symmetry: bool = False,
-    cache: bool = False,
-    cache_dir: Optional[str] = None,
-    max_configurations: int = 400_000,
-    kernel: Optional[str] = None,
-    kernel_tables: Optional[str] = None,
-    kernel_threads: Optional[int] = None,
-    trace: Optional[str] = None,
-) -> Report:
-    """Build one Algorithm 2 instance's reachable configuration graph.
-
-    With ``cache=True`` (and no symmetry reduction) the graph is
-    persisted to / rehydrated from the content-addressed exploration
-    cache.
-    """
-    from .analysis.kernel import kernel_env
-
-    with obs.session(trace_path=trace, meta={"command": "explore"}) as sess, \
-            kernel_env(kernel, tables=kernel_tables, threads=kernel_threads):
-        report = _explore_body(
-            n=n,
-            inputs=inputs,
-            symmetry=symmetry,
-            cache=cache,
-            cache_dir=cache_dir,
-            max_configurations=max_configurations,
-        )
-        return report.with_metrics(sess.snapshot())
-
-
-def _explore_body(
-    *,
-    n: int,
-    inputs: Optional[Sequence[Any]],
-    symmetry: bool,
-    cache: bool,
-    cache_dir: Optional[str],
-    max_configurations: int,
-) -> Report:
-    from .analysis.cache import ExplorationCache, explore_cached
-    from .analysis.explorer import Explorer
-    from .core.pac import NPacSpec
-    from .protocols.dac_from_pac import (
+def _explore_body(request: ExploreRequest) -> Report:
+    from ..analysis.cache import ExplorationCache, explore_cached
+    from ..analysis.explorer import Explorer
+    from ..core.pac import NPacSpec
+    from ..protocols.dac_from_pac import (
         algorithm2_processes,
         algorithm2_symmetry,
     )
-    from .protocols.tasks import DacDecisionTask
 
-    if inputs is None:
-        inputs = DacDecisionTask.paper_initial_inputs(n)
-    inputs = tuple(inputs)
+    n = request.n
+    inputs = request.inputs
+    symmetry = request.symmetry
+    max_configurations = request.max_configurations
+    assert inputs is not None  # normalized at construction
     explorer = Explorer({"PAC": NPacSpec(n)}, algorithm2_processes(inputs))
     with obs.span("explore", n=n, inputs=repr(inputs)), \
             obs.profile_phase("explore"):
@@ -640,7 +550,11 @@ def _explore_body(
                 symmetry=algorithm2_symmetry(inputs),
             )
         else:
-            cache_obj = ExplorationCache(cache_dir) if cache else None
+            cache_obj = (
+                ExplorationCache(request.options.cache_dir)
+                if request.options.cache
+                else None
+            )
             result, was_hit = explore_cached(
                 explorer,
                 cache_obj,
@@ -666,3 +580,11 @@ def _explore_body(
             "cache_hit": was_hit,
         },
     )
+
+
+_BODIES: Dict[type, Callable[[Any], Report]] = {
+    VerifyRequest: _verify_body,
+    RefuteRequest: _refute_body,
+    FuzzRequest: _fuzz_body,
+    ExploreRequest: _explore_body,
+}

@@ -22,7 +22,11 @@ Commands:
 * ``explore`` — build one Algorithm 2 instance's reachable
   configuration graph and report its shape;
 * ``report TRACE`` — render a recorded JSONL trace into a summary
-  (see :mod:`repro.obs` and ``docs/observability.md``).
+  (see :mod:`repro.obs` and ``docs/observability.md``);
+* ``serve`` — run the asyncio verification service (request
+  coalescing, warm result cache, streaming traces; see
+  :mod:`repro.serve` and ``docs/serve.md``);
+* ``serve-smoke`` — the end-to-end serve correctness harness CI runs.
 
 Exploration-heavy commands (``check-algorithm2``, ``refute``, ``fuzz``,
 ``explore``) accept ``--kernel {auto,python,compiled}`` to pick the
@@ -45,7 +49,10 @@ all paths report byte-identical results to the serial run. The heavy
 commands are thin adapters over :mod:`repro.api`.
 
 Every command exits 0 on "the paper's claim reproduced" and 1
-otherwise, so the CLI doubles as a smoke-check in CI.
+otherwise, so the CLI doubles as a smoke-check in CI. Failures that
+the error taxonomy names (:mod:`repro.errors`) exit with that code's
+stable number — e.g. 2 for INVALID_REQUEST, 3 for KERNEL_UNAVAILABLE —
+the same table the server renders as HTTP statuses.
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from . import obs
+from .errors import InvalidRequestError, ReproError, error_report
 from .analysis.explorer import Explorer
 from .core.pac import NPacSpec
 from .core.power import (
@@ -743,6 +751,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="path to a trace written with --trace / $REPRO_TRACE",
     )
     _add_observability_arguments(trace_report)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the asyncio verification service (see docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="listen port; 0 picks a free one (default: 8642)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=("process", "thread"),
+        default="process",
+        help="job executor: a process pool (default) or one serial "
+        "worker thread (the observation stack is process-global, so "
+        "thread mode never runs two jobs at once)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="process-pool size (default: 2; ignored in thread mode)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="live-job bound; past it submissions get 429 (default: 64)",
+    )
+    serve.add_argument(
+        "--class-limit",
+        action="append",
+        default=None,
+        metavar="PHASE=N",
+        help="per-phase concurrency cap, e.g. --class-limit fuzz=1 "
+        "(repeatable; default: 2 each)",
+    )
+    serve.add_argument(
+        "--result-cache",
+        type=int,
+        default=256,
+        help="warm result cache capacity, in reports (default: 256)",
+    )
+    serve.add_argument(
+        "--job-history",
+        type=int,
+        default=256,
+        help="finished jobs kept for /jobs/<id> (default: 256)",
+    )
+    serve.add_argument(
+        "--spool-dir",
+        default=None,
+        help="directory for per-job trace spool files "
+        "(default: a private temporary directory)",
+    )
+
+    commands.add_parser(
+        "serve-smoke",
+        help="boot a server and check the serve contract end to end",
+    )
     return parser
 
 
@@ -762,14 +833,64 @@ _HANDLERS = {
 }
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServerConfig, run_server
+    from .serve.server import PHASES
+
+    class_limits = {}
+    for spec in args.class_limit or ():
+        name, separator, value = spec.partition("=")
+        if not separator or name not in PHASES or not value.isdigit():
+            raise InvalidRequestError(
+                f"--class-limit wants PHASE=N with PHASE in "
+                f"{'/'.join(PHASES)}, got {spec!r}"
+            )
+        class_limits[name] = int(value)
+    return run_server(
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            mode=args.mode,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            class_limits=class_limits,
+            result_cache_size=args.result_cache,
+            job_history_size=args.job_history,
+            spool_dir=args.spool_dir,
+        )
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # The serve commands never run under the CLI's ambient observation
+    # session: the session stack is process-global, and an ambient
+    # session would be joined (or inherited across fork) by the job
+    # workers, swallowing their per-job spool tracers.
+    if args.command == "serve":
+        try:
+            return _cmd_serve(args)
+        except ReproError as exc:
+            report = error_report("serve", exc)
+            print(render_report(report, "text"))
+            return report.exit_code
+    if args.command == "serve-smoke":
+        from .serve.smoke import run_smoke
+
+        report = run_smoke()
+        print(render_report(report, "text"))
+        return report.exit_code
     with obs.session(
         trace_path=getattr(args, "trace", None),
         profile=True if getattr(args, "profile", False) else None,
         meta={"command": args.command},
     ) as sess:
-        report = _HANDLERS[args.command](args)
+        try:
+            report = _HANDLERS[args.command](args)
+        except ReproError as exc:
+            # The error taxonomy's third consumer: the same table that
+            # picks the server's HTTP status picks the exit code here.
+            report = error_report(args.command, exc)
         report = report.with_metrics(sess.snapshot())
         print(render_report(report, getattr(args, "format", "text")))
     return report.exit_code

@@ -1,13 +1,25 @@
-"""Exception hierarchy for the ``repro`` library.
+"""Exception hierarchy and the stable error taxonomy.
 
 All library-raised exceptions derive from :class:`ReproError`, so callers
 can catch the whole family with a single ``except`` clause while still
 being able to distinguish specification errors (bad operations sent to an
 object) from runtime errors (scheduling a crashed process) and analysis
 errors (asking for the valency of an unreachable configuration).
+
+On top of the exception classes sits the **error taxonomy**: a closed
+set of stable error codes (:data:`ERROR_CODES`), one classification
+function (:func:`classify_error`) and one table mapping each code to
+its HTTP status (consumed by :mod:`repro.serve`) and its CLI exit code
+(consumed by :mod:`repro.cli`); :func:`error_report` folds any caught
+exception into the standard :class:`repro.reports.Report` envelope with
+the code carried in ``data["error_code"]`` and in the error finding —
+one table, three consumers (server, CLI, API callers).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Tuple
 
 
 class ReproError(Exception):
@@ -86,3 +98,177 @@ class NotLinearizableError(AnalysisError):
     underlying checker itself returns a verdict object instead of
     raising.
     """
+
+
+class InvalidRequestError(ReproError):
+    """A request to the API/serve surface failed validation.
+
+    Raised while building one of the typed request objects in
+    :mod:`repro.api.requests` (unknown command, wrong field type,
+    out-of-range value) — before any engine runs. The server maps it to
+    HTTP 400, the CLI to exit code 2.
+    """
+
+
+class CacheIntegrityError(AnalysisError):
+    """A warm cache entry failed its digest validation.
+
+    Raised when a rehydrated payload does not reproduce the digest
+    recorded at store time — the entry is stale, corrupt, or was
+    written by an incompatible serializer, and using it could silently
+    change a verdict. (Home base for
+    :mod:`repro.analysis.cache`, which re-exports it.)
+    """
+
+
+class ServerOverloadedError(ReproError):
+    """The serving layer refused a submission it cannot queue.
+
+    Raised by :class:`repro.serve.jobs.JobManager` when the bounded job
+    queue is full or the server is draining for shutdown; mapped to
+    HTTP 429. Back off and resubmit.
+    """
+
+
+class KernelUnavailableError(AnalysisError):
+    """A specific exploration backend was requested but cannot run.
+
+    Raised by :func:`repro.analysis.kernel.select` when ``compiled`` is
+    demanded and the accelerated extension is not built (the message
+    carries the captured build log when one exists). The server maps it
+    to HTTP 503 — the request is fine, this deployment just cannot
+    serve it — and the CLI to exit code 3.
+    """
+
+
+# -- the stable error taxonomy ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorClass:
+    """One row of the taxonomy: a stable code and its three renderings."""
+
+    code: str
+    http_status: int
+    exit_code: int
+    description: str
+
+
+#: The closed code set, in severity-agnostic alphabetical order. Codes
+#: are append-only: consumers (CI greps, dashboards, clients switching
+#: on ``data["error_code"]``) rely on existing names never changing.
+ERROR_TABLE: Tuple[ErrorClass, ...] = (
+    ErrorClass(
+        "BUDGET_EXCEEDED",
+        422,
+        4,
+        "a strict exploration/fuzz budget was exhausted before an answer",
+    ),
+    ErrorClass(
+        "CACHE_INTEGRITY",
+        500,
+        6,
+        "a warm cache entry failed digest validation (stale or corrupt)",
+    ),
+    ErrorClass(
+        "INTERNAL",
+        500,
+        1,
+        "an engine failed in a way the taxonomy does not name",
+    ),
+    ErrorClass(
+        "INVALID_REQUEST",
+        400,
+        2,
+        "the request failed validation before any engine ran",
+    ),
+    ErrorClass(
+        "KERNEL_UNAVAILABLE",
+        503,
+        3,
+        "a requested exploration backend is not built on this host",
+    ),
+    ErrorClass(
+        "OVERLOADED",
+        429,
+        7,
+        "the server's bounded job queue is full or draining",
+    ),
+    ErrorClass(
+        "REPLAY_DIVERGENCE",
+        500,
+        5,
+        "a strict counterexample replay diverged from its script",
+    ),
+)
+
+#: code → :class:`ErrorClass` (the lookup the three consumers share).
+ERROR_CODES: Mapping[str, ErrorClass] = {
+    entry.code: entry for entry in ERROR_TABLE
+}
+
+
+def classify_error(exc: BaseException) -> str:
+    """The taxonomy code for ``exc`` (total: unknowns are INTERNAL)."""
+    if isinstance(exc, InvalidRequestError):
+        return "INVALID_REQUEST"
+    if isinstance(exc, (SpecificationError, InvalidOperationError)):
+        return "INVALID_REQUEST"
+    if isinstance(exc, ExplorationBudgetExceeded):
+        return "BUDGET_EXCEEDED"
+    if isinstance(exc, CacheIntegrityError):
+        return "CACHE_INTEGRITY"
+    if isinstance(exc, KernelUnavailableError):
+        return "KERNEL_UNAVAILABLE"
+    if isinstance(exc, ReplayDivergenceError):
+        return "REPLAY_DIVERGENCE"
+    if isinstance(exc, ServerOverloadedError):
+        return "OVERLOADED"
+    return "INTERNAL"
+
+
+def http_status_for(code: str) -> int:
+    """The HTTP status the server answers with for ``code``."""
+    entry = ERROR_CODES.get(code)
+    return entry.http_status if entry is not None else 500
+
+
+def exit_code_for(code: str) -> int:
+    """The process exit code the CLI uses for ``code``."""
+    entry = ERROR_CODES.get(code)
+    return entry.exit_code if entry is not None else 1
+
+
+def error_report(
+    command: str,
+    exc: BaseException,
+    detail: Optional[str] = None,
+) -> Any:
+    """Fold a caught exception into the standard Report envelope.
+
+    ``status`` is ``"error"``, the exit code comes from the taxonomy
+    table, and the code rides in ``data["error_code"]`` plus the single
+    error finding's ``data`` — so the CLI, the server, and API callers
+    all read the same classification from the same places.
+    """
+    from .reports import Finding, Report
+
+    code = classify_error(exc)
+    message = detail if detail is not None else str(exc)
+    line = f"{code}: {message}"
+    return Report(
+        command=command,
+        status="error",
+        exit_code=exit_code_for(code),
+        summary=line,
+        body=(line,),
+        findings=(
+            Finding(
+                "error",
+                subject=code,
+                detail=message,
+                data={"error_code": code, "exception": type(exc).__name__},
+            ),
+        ),
+        data={"error_code": code},
+    )

@@ -126,6 +126,11 @@ class Tracer:
         self._records += 1
         self._fh.write(json.dumps(record, sort_keys=True, default=repr))
         self._fh.write("\n")
+        # Complete lines must hit the sink as they happen: live tailers
+        # (the serve layer's /jobs/<id>/events stream) follow this file
+        # while the traced run is still executing. Records are per
+        # span/phase, not per configuration, so the flush is cheap.
+        self._fh.flush()
 
     # -- public recording ------------------------------------------------
 

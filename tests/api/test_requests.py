@@ -1,0 +1,205 @@
+"""The typed request model behind :mod:`repro.api`.
+
+Three contracts:
+
+* the keyword-only façade functions are *exactly* request + execute —
+  same reports, byte for byte;
+* fingerprints cover the semantic fields and nothing else — every
+  :class:`ExecutionOptions` knob is invisible to them (that is what
+  lets the server coalesce a pooled run with a serial one), while any
+  semantic change readdresses;
+* validation happens at construction, as
+  :class:`~repro.errors.InvalidRequestError`, before any engine runs;
+  ``to_dict``/``request_from_dict`` round-trip losslessly.
+"""
+
+import pytest
+
+from repro.api import (
+    ExecutionOptions,
+    ExploreRequest,
+    FuzzRequest,
+    REQUEST_TYPES,
+    RefuteRequest,
+    VerifyRequest,
+    execute,
+    request_from_dict,
+)
+from repro import api
+from repro.errors import InvalidRequestError
+
+
+class TestFacadeEquivalence:
+    def test_verify_wrapper_is_request_plus_execute(self):
+        via_wrapper = api.verify(n=2, symmetry=True)
+        via_request = execute(VerifyRequest(n=2, symmetry=True))
+        assert via_wrapper.body == via_request.body
+        assert via_wrapper.to_dict() == via_request.to_dict()
+
+    def test_explore_wrapper_is_request_plus_execute(self):
+        via_wrapper = api.explore(n=2)
+        via_request = execute(ExploreRequest(n=2))
+        assert via_wrapper.to_dict() == via_request.to_dict()
+
+    def test_report_commands_match_cli_names(self):
+        assert VerifyRequest.report_command == "check-algorithm2"
+        assert RefuteRequest.report_command == "refute"
+        assert FuzzRequest.report_command == "fuzz"
+        assert ExploreRequest.report_command == "explore"
+
+    def test_execute_rejects_non_requests(self):
+        with pytest.raises(InvalidRequestError):
+            execute("verify")  # type: ignore[arg-type]
+
+
+class TestFingerprints:
+    def test_equal_semantics_equal_fingerprint(self):
+        assert (
+            VerifyRequest(n=3).fingerprint()
+            == VerifyRequest(n=3).fingerprint()
+        )
+
+    def test_options_never_participate(self):
+        baseline = VerifyRequest(n=3).fingerprint()
+        for options in (
+            ExecutionOptions(jobs=4),
+            ExecutionOptions(cache=True),
+            ExecutionOptions(cache=True, cache_dir="/tmp/elsewhere"),
+            ExecutionOptions(kernel="python"),
+            ExecutionOptions(kernel_tables="on", kernel_threads=2),
+            ExecutionOptions(trace="/tmp/trace.jsonl"),
+        ):
+            assert (
+                VerifyRequest(n=3, options=options).fingerprint()
+                == baseline
+            ), options
+
+    def test_every_semantic_field_readdresses(self):
+        base = FuzzRequest(candidate="x", budget=100, seed=1)
+        variants = [
+            FuzzRequest(candidate="y", budget=100, seed=1),
+            FuzzRequest(candidate="x", budget=101, seed=1),
+            FuzzRequest(candidate="x", budget=100, seed=2),
+            FuzzRequest(candidate="x", budget=100, seed=1, shards=2),
+            FuzzRequest(candidate="x", budget=100, seed=1, shrink=False),
+            FuzzRequest(candidate="x", budget=100, seed=1, max_steps=32),
+        ]
+        fingerprints = {request.fingerprint() for request in variants}
+        assert base.fingerprint() not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_commands_never_collide(self):
+        # Same field shapes, different verbs -> different addresses.
+        assert (
+            VerifyRequest(n=2).fingerprint()
+            != ExploreRequest(n=2).fingerprint()
+        )
+
+    def test_defaulted_explore_inputs_normalize(self):
+        from repro.protocols.tasks import DacDecisionTask
+
+        paper = tuple(DacDecisionTask.paper_initial_inputs(3))
+        assert (
+            ExploreRequest(n=3).fingerprint()
+            == ExploreRequest(n=3, inputs=paper).fingerprint()
+        )
+        assert ExploreRequest(n=3).inputs == paper
+
+    def test_explore_inputs_as_list_or_tuple_agree(self):
+        assert (
+            ExploreRequest(n=2, inputs=[1, 0]).fingerprint()
+            == ExploreRequest(n=2, inputs=(1, 0)).fingerprint()
+        )
+
+
+class TestCacheability:
+    def test_pure_requests_are_cacheable(self):
+        assert VerifyRequest(n=2).cacheable
+        assert RefuteRequest().cacheable
+        assert ExploreRequest(n=2).cacheable
+        assert FuzzRequest(candidate="x").cacheable
+
+    def test_corpus_backed_fuzz_is_not(self):
+        assert not FuzzRequest(candidate="x", corpus_dir="/tmp/c").cacheable
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: VerifyRequest(n=0),
+            lambda: VerifyRequest(n="3"),
+            lambda: VerifyRequest(n=True),
+            lambda: VerifyRequest(n=2, symmetry="yes"),
+            lambda: FuzzRequest(budget=0),
+            lambda: FuzzRequest(seed="abc"),
+            lambda: FuzzRequest(shards=0),
+            lambda: FuzzRequest(max_steps=0),
+            lambda: ExploreRequest(n=2, inputs=(1, 0, 0)),
+            lambda: ExploreRequest(n=2, inputs="10"),
+            lambda: ExploreRequest(max_configurations=0),
+            lambda: ExecutionOptions(jobs=0),
+            lambda: ExecutionOptions(kernel="fortran"),
+            lambda: ExecutionOptions(kernel_tables="maybe"),
+            lambda: ExecutionOptions(kernel_threads=0),
+            lambda: ExecutionOptions(cache="yes"),
+        ],
+    )
+    def test_bad_fields_raise_before_any_engine(self, build):
+        with pytest.raises(InvalidRequestError):
+            build()
+
+    def test_frozen(self):
+        request = VerifyRequest(n=2)
+        with pytest.raises(Exception):
+            request.n = 3  # type: ignore[misc]
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize(
+        "request_",
+        [
+            VerifyRequest(n=2, symmetry=True),
+            RefuteRequest(candidate="one 2-SA"),
+            FuzzRequest(candidate="x", budget=50, seed=7, shards=2),
+            ExploreRequest(n=2, inputs=(1, 0), max_configurations=1000),
+            VerifyRequest(
+                n=2, options=ExecutionOptions(jobs=2, kernel="python")
+            ),
+        ],
+    )
+    def test_round_trip_is_lossless(self, request_):
+        rebuilt = request_from_dict(request_.to_dict())
+        assert rebuilt == request_
+        assert rebuilt.fingerprint() == request_.fingerprint()
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            request_from_dict({"command": "conquer"})
+        with pytest.raises(InvalidRequestError):
+            request_from_dict({"n": 2})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            request_from_dict({"command": "verify", "m": 2})
+        with pytest.raises(InvalidRequestError):
+            request_from_dict(
+                {"command": "verify", "options": {"threads": 2}}
+            )
+
+    def test_dispatch_table_is_total(self):
+        assert sorted(REQUEST_TYPES) == [
+            "explore",
+            "fuzz",
+            "refute",
+            "verify",
+        ]
+        for command, cls in REQUEST_TYPES.items():
+            assert cls.command == command
+
+    def test_with_options_keeps_the_answer(self):
+        request = VerifyRequest(n=2)
+        pooled = request.with_options(ExecutionOptions(jobs=3))
+        assert pooled.options.jobs == 3
+        assert pooled.fingerprint() == request.fingerprint()
+        assert pooled.semantic_fields() == request.semantic_fields()

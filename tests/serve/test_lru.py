@@ -1,0 +1,52 @@
+"""The serve layer's counted LRU."""
+
+import pytest
+
+from repro.serve.lru import LRUCache
+
+
+class TestLRUCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_get_put_and_counters(self):
+        cache = LRUCache(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh: "b" is now the oldest
+        evicted = cache.put("c", 3)
+        assert evicted == [("b", 2)]
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_peek_does_not_touch_recency_or_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert (cache.hits, cache.misses) == (0, 0)
+        # "a" was NOT refreshed: it is still the eviction victim.
+        assert cache.put("c", 3) == [("a", 1)]
+
+    def test_eviction_order_is_deterministic(self):
+        cache = LRUCache(3)
+        for key in "abcdef":
+            cache.put(key, key)
+        assert list(cache.keys()) == ["d", "e", "f"]
+
+    def test_pop_and_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a") is None
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0

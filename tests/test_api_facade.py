@@ -16,7 +16,19 @@ from repro.reports import Report
 
 class TestSignatures:
     def test_public_surface(self):
-        assert api.__all__ == ["verify", "refute", "fuzz", "explore"]
+        # The four keyword-only functions stay first-class; the request
+        # model (PR 10) rides alongside without displacing them.
+        assert api.__all__[:4] == ["verify", "refute", "fuzz", "explore"]
+        for name in (
+            "execute",
+            "request_from_dict",
+            "ExecutionOptions",
+            "VerifyRequest",
+            "RefuteRequest",
+            "FuzzRequest",
+            "ExploreRequest",
+        ):
+            assert name in api.__all__, name
 
     @pytest.mark.parametrize("name", ["verify", "refute", "fuzz", "explore"])
     def test_every_parameter_is_keyword_only(self, name):
